@@ -1,0 +1,192 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * RC in-flight window (the calibrated 16 vs alternatives) — the knob
+//!   behind the Figure 5 medium-message collapse.
+//! * Rendezvous threshold sweep (beyond the paper's 8 K/64 K endpoints).
+//! * Message coalescing on/off for small-message streams.
+//! * Adaptive threshold probing (the paper's future-work suggestion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibwan_core::adaptive::probe_and_tune;
+use mpisim::bench::{osu_bw, wan_pair_with};
+use mpisim::proto::{CoalesceConfig, MpiConfig};
+use mpisim::script::Op;
+use mpisim::world::{JobSpec, MpiJob};
+use simcore::Dur;
+use std::hint::black_box;
+
+fn bench_rc_window_ablation(c: &mut Criterion) {
+    use ibfabric::perftest::{rc_qp_pair, BwConfig, BwPeer};
+    use ibfabric::qp::QpConfig;
+    use ibwan_core::wan_node_pair;
+
+    let mut g = c.benchmark_group("ablation_rc_window");
+    g.sample_size(10);
+    for window in [4usize, 16, 64] {
+        g.bench_function(format!("64k_at_1ms_window_{window}"), |b| {
+            b.iter(|| {
+                let (mut f, a, n2) = wan_node_pair(
+                    7,
+                    Dur::from_ms(1),
+                    Box::new(BwPeer::sender(BwConfig::new(65536, 64))),
+                    Box::new(BwPeer::receiver()),
+                );
+                let (qa, qb) = rc_qp_pair(&mut f, a, n2, QpConfig::rc().with_window(window));
+                f.hca_mut(a).ulp_mut::<BwPeer>().qpn = qa;
+                f.hca_mut(n2).ulp_mut::<BwPeer>().qpn = qb;
+                f.run();
+                black_box(f.hca(a).ulp::<BwPeer>().bandwidth_mbs())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rndv_threshold");
+    g.sample_size(10);
+    for threshold in [8192u32, 32768, 65536, 262144] {
+        g.bench_function(format!("bw_16k_at_10ms_thresh_{threshold}"), |b| {
+            b.iter(|| {
+                let cfg = MpiConfig {
+                    eager_threshold: threshold,
+                    ..MpiConfig::default()
+                };
+                let spec = wan_pair_with(Dur::from_ms(10), cfg);
+                black_box(osu_bw(spec, 16384, 32, 2))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn coalescing_run(coalesce: bool) -> f64 {
+    let cfg = MpiConfig {
+        coalescing: coalesce.then(CoalesceConfig::default),
+        ..MpiConfig::default()
+    };
+    let spec = JobSpec::two_clusters(1, 1, Dur::from_ms(1)).with_mpi(cfg);
+    let mut job = MpiJob::build(spec, |rank, _| {
+        // 2000 small messages one way, then a drain marker exchange.
+        let mut ops = vec![Op::Mark { id: 0 }];
+        if rank == 0 {
+            ops.push(Op::SendWindow { to: 1, len: 512, tag: 1, count: 2000 });
+            ops.push(Op::Recv { from: 1, tag: 2 });
+        } else {
+            ops.push(Op::RecvWindow { from: 0, tag: 1, count: 2000 });
+            ops.push(Op::Send { to: 0, len: 4, tag: 2 });
+        }
+        ops.push(Op::Mark { id: 1 });
+        ops
+    });
+    job.run();
+    let r = &job.process(0).runner;
+    r.mark(1).unwrap().since(r.mark(0).unwrap()).as_us_f64()
+}
+
+fn bench_coalescing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_coalescing");
+    g.sample_size(10);
+    g.bench_function("2000x512b_at_1ms_off", |b| {
+        b.iter(|| black_box(coalescing_run(false)))
+    });
+    g.bench_function("2000x512b_at_1ms_on", |b| {
+        b.iter(|| black_box(coalescing_run(true)))
+    });
+    g.finish();
+}
+
+fn bench_adaptive_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_adaptive");
+    g.sample_size(10);
+    g.bench_function("probe_and_tune_10ms", |b| {
+        b.iter(|| black_box(probe_and_tune(Dur::from_ms(10))))
+    });
+    g.finish();
+}
+
+fn bench_longbow_credits(c: &mut Criterion) {
+    use ibwan_core::ext_exp::ext_longbow_credits;
+    use ibwan_core::Fidelity;
+    let mut g = c.benchmark_group("ablation_longbow_credits");
+    g.sample_size(10);
+    g.bench_function("credit_sweep_quick", |b| {
+        b.iter(|| black_box(ext_longbow_credits(Fidelity::Quick)))
+    });
+    g.finish();
+}
+
+fn bench_sdp_paths(c: &mut Criterion) {
+    use ibfabric::fabric::FabricBuilder;
+    use ibfabric::hca::HcaConfig;
+    use ibfabric::link::LinkConfig;
+    use ibfabric::perftest::rc_qp_pair;
+    use ibfabric::qp::QpConfig;
+    use obsidian::LongbowPair;
+    use sdp::{SdpConfig, SdpNode};
+
+    fn sdp_run(msg: u32, count: u64, delay: Dur) -> f64 {
+        let mut builder = FabricBuilder::new(3);
+        let a = builder.add_hca(
+            HcaConfig::default(),
+            Box::new(SdpNode::sender(SdpConfig::default(), msg, count)),
+        );
+        let b = builder.add_hca(HcaConfig::default(), Box::new(SdpNode::receiver(SdpConfig::default())));
+        let sw_a = builder.add_switch();
+        let sw_b = builder.add_switch();
+        builder.link(a.actor, sw_a, LinkConfig::ddr_lan());
+        builder.link(b.actor, sw_b, LinkConfig::ddr_lan());
+        LongbowPair::insert(&mut builder, sw_a, sw_b, delay);
+        let mut f = builder.finish();
+        let (qa, qb) = rc_qp_pair(&mut f, a, b, QpConfig::rc());
+        f.hca_mut(a).ulp_mut::<SdpNode>().socket.qpn = qa;
+        f.hca_mut(b).ulp_mut::<SdpNode>().socket.qpn = qb;
+        f.run();
+        f.hca(b).ulp::<SdpNode>().throughput_mbs()
+    }
+
+    let mut g = c.benchmark_group("ablation_sdp");
+    g.sample_size(10);
+    g.bench_function("bcopy_32k_lan", |b| {
+        b.iter(|| black_box(sdp_run(32768, 200, Dur::ZERO)))
+    });
+    g.bench_function("zcopy_1m_1ms", |b| {
+        b.iter(|| black_box(sdp_run(1 << 20, 24, Dur::from_ms(1))))
+    });
+    g.finish();
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    use mpisim::patterns::Pattern;
+
+    let mut g = c.benchmark_group("ablation_patterns");
+    g.sample_size(10);
+    for (label, p) in [
+        (
+            "halo2d_16r_100us",
+            Pattern::Halo2d { rows: 4, cols: 4, face_bytes: 32768, iters: 4, compute_us: 500 },
+        ),
+        ("ring_16r_100us", Pattern::Ring { block_bytes: 65536, iters: 8 }),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let spec = JobSpec::two_clusters(8, 8, Dur::from_us(100));
+                let mut job = MpiJob::build(spec, |rank, n| p.ops(rank, n));
+                black_box(job.run())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rc_window_ablation,
+    bench_threshold_sweep,
+    bench_coalescing,
+    bench_adaptive_probe,
+    bench_longbow_credits,
+    bench_sdp_paths,
+    bench_patterns
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches for the application-level experiments (Figures 12
+//! and 13).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nasbench::NasBenchmark;
+use nfssim::{run_read_experiment, NfsSetup, Transport};
+use simcore::Dur;
+use std::hint::black_box;
+
+fn bench_fig12_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for bench in NasBenchmark::ALL {
+        g.bench_function(format!("{}_8x8_1ms", bench.name()), |b| {
+            b.iter(|| black_box(nasbench::run(bench, 8, 8, Dur::from_ms(1))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig13_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    for (label, transport, delay) in [
+        ("rdma_lan", Transport::Rdma, None),
+        ("rdma_100us", Transport::Rdma, Some(Dur::from_us(100))),
+        ("ipoib_rc_1ms", Transport::IpoibRc, Some(Dur::from_ms(1))),
+        ("ipoib_ud_100us", Transport::IpoibUd, Some(Dur::from_us(100))),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut s = NfsSetup::scaled(transport, 8, delay);
+                s.file_size = 16 << 20;
+                black_box(run_read_experiment(s))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig12_points, bench_fig13_points);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the IPoIB experiments (Figures 6 and 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibwan_core::ipoib_exp::run_ipoib_point;
+use ibwan_core::Fidelity;
+use ipoib::node::IpoibConfig;
+use std::hint::black_box;
+
+fn bench_fig6_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    for delay_us in [0u64, 1000, 10000] {
+        g.bench_function(format!("ud_default_window_{delay_us}us"), |b| {
+            b.iter(|| {
+                black_box(run_ipoib_point(
+                    IpoibConfig::ud(),
+                    tcpstack::DEFAULT_WINDOW,
+                    1,
+                    delay_us,
+                    Fidelity::Quick,
+                ))
+            })
+        });
+    }
+    g.bench_function("ud_8_streams_1ms", |b| {
+        b.iter(|| {
+            black_box(run_ipoib_point(
+                IpoibConfig::ud(),
+                tcpstack::DEFAULT_WINDOW,
+                8,
+                1000,
+                Fidelity::Quick,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for mtu in [2048u32, 16384, 65536] {
+        g.bench_function(format!("rc_mtu_{mtu}_no_delay"), |b| {
+            b.iter(|| {
+                black_box(run_ipoib_point(
+                    IpoibConfig::rc(mtu),
+                    tcpstack::DEFAULT_WINDOW,
+                    1,
+                    0,
+                    Fidelity::Quick,
+                ))
+            })
+        });
+    }
+    g.bench_function("rc_64k_mtu_4_streams_1ms", |b| {
+        b.iter(|| {
+            black_box(run_ipoib_point(
+                IpoibConfig::rc(65536),
+                tcpstack::DEFAULT_WINDOW,
+                4,
+                1000,
+                Fidelity::Quick,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6_points, bench_fig7_points);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches for the MPI experiments (Figures 8–11).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpisim::bench::{msg_rate, osu_bcast, osu_bw, wan_pair_with};
+use mpisim::proto::MpiConfig;
+use mpisim::world::JobSpec;
+use simcore::Dur;
+use std::hint::black_box;
+
+fn bench_fig8_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for (label, size, delay_us) in [
+        ("bw_64k_no_delay", 65536u32, 0u64),
+        ("bw_64k_1ms", 65536, 1000),
+        ("bw_1m_10ms", 1 << 20, 10000),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let spec = wan_pair_with(Dur::from_us(delay_us), MpiConfig::default());
+                black_box(osu_bw(spec, size, 16, 3))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig9_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for (label, cfg) in [
+        ("16k_at_10ms_original", MpiConfig::default()),
+        ("16k_at_10ms_tuned", MpiConfig::wan_tuned()),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let spec = wan_pair_with(Dur::from_ms(10), cfg);
+                black_box(osu_bw(spec, 16384, 32, 3))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for pairs in [4usize, 16] {
+        g.bench_function(format!("{pairs}_pairs_1b_1ms"), |b| {
+            b.iter(|| {
+                let spec = JobSpec::two_clusters(pairs, pairs, Dur::from_ms(1));
+                black_box(msg_rate(spec, pairs, 1, 64, 2))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig11_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    for (label, hier) in [("flat_128k_100us", false), ("hier_128k_100us", true)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let spec = JobSpec::two_clusters(16, 16, Dur::from_us(100));
+                black_box(osu_bcast(spec, 131072, 2, hier))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig8_points,
+    bench_fig9_points,
+    bench_fig10_points,
+    bench_fig11_points
+);
+criterion_main!(benches);

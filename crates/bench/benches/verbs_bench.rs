@@ -1,0 +1,50 @@
+//! Criterion benches for the verbs-level experiments (Table 1, Figures
+//! 3–5): times the simulation of representative points and prints nothing —
+//! run the `repro` binary for the actual figure rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibwan_core::verbs::{fig3_latency, fig4_ud_bandwidth, fig5_rc_bandwidth, table1};
+use ibwan_core::Fidelity;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/delay_mapping", |b| {
+        b.iter(|| black_box(table1()))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("latency_all_modes", |b| {
+        b.iter(|| black_box(fig3_latency(Fidelity::Quick)))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("ud_bandwidth_sweep", |b| {
+        b.iter(|| black_box(fig4_ud_bandwidth(false, Fidelity::Quick)))
+    });
+    g.bench_function("ud_bidir_sweep", |b| {
+        b.iter(|| black_box(fig4_ud_bandwidth(true, Fidelity::Quick)))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("rc_bandwidth_sweep", |b| {
+        b.iter(|| black_box(fig5_rc_bandwidth(false, Fidelity::Quick)))
+    });
+    g.bench_function("rc_bidir_sweep", |b| {
+        b.iter(|| black_box(fig5_rc_bandwidth(true, Fidelity::Quick)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_fig3, bench_fig4, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! `ibwan-sim` — run declarative cluster-of-clusters experiments from JSON
+//! scenario files.
+//!
+//! ```text
+//! ibwan-sim scenario1.json [scenario2.json ...]   # run scenarios
+//! ibwan-sim --sweep scenario.json                  # rerun across the paper's
+//!                                                  # delay sweep (0..10 ms)
+//! ibwan-sim --example                              # print a sample scenario
+//! ibwan-sim --json scenario.json                   # emit results as JSON
+//! ```
+
+use ibwan_core::scenario::{example_scenario, Scenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: ibwan-sim [--json] SCENARIO.json ...");
+        eprintln!("       ibwan-sim --example   # print a sample scenario file");
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--example") {
+        println!("{}", example_scenario().to_json());
+        return;
+    }
+    let as_json = args.iter().any(|a| a == "--json");
+    let sweep = args.iter().any(|a| a == "--sweep");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if files.is_empty() {
+        eprintln!("no scenario files given (try --example)");
+        std::process::exit(2);
+    }
+    let mut results = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+        let scenario = Scenario::from_json(&text)
+            .unwrap_or_else(|e| panic!("cannot parse {file}: {e}"));
+        let variants: Vec<Scenario> = if sweep {
+            ibwan_core::PAPER_DELAYS_US
+                .iter()
+                .map(|&d| {
+                    let mut v = scenario.clone();
+                    v.name = format!("{}@{}us", scenario.name, d);
+                    v.topology.delay_us = d;
+                    v
+                })
+                .collect()
+        } else {
+            vec![scenario]
+        };
+        for v in variants {
+            let t0 = std::time::Instant::now();
+            let result = v.run();
+            let wall = t0.elapsed().as_secs_f64();
+            if as_json {
+                results.push(result);
+            } else {
+                println!(
+                    "{:<36} {:>14} = {:>12.2} {:<8} ({wall:.2}s wall)",
+                    result.name, result.metric, result.value, result.unit
+                );
+            }
+        }
+    }
+    if as_json {
+        println!("{}", serde_json::to_string_pretty(&results).unwrap());
+    }
+}

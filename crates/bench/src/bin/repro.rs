@@ -1,0 +1,78 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--full] [--json DIR] [IDS...]
+//!
+//!   IDS       experiment ids to run ("table1", "fig5a", ...; default: all)
+//!   --full    use the Full fidelity (the EXPERIMENTS.md numbers); default
+//!             is Quick
+//!   --json DIR  additionally write each figure as DIR/<id>.json
+//! ```
+
+use bench::catalog;
+use ibwan_core::Fidelity;
+use std::io::Write as _;
+
+fn main() {
+    let mut fidelity = Fidelity::Quick;
+    let mut json_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => fidelity = Fidelity::Full,
+            "--json" => {
+                json_dir = Some(args.next().expect("--json needs a directory"));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: repro [--full] [--json DIR] [IDS...]");
+                eprintln!("experiments:");
+                for e in catalog() {
+                    eprintln!("  {:8} {}", e.id, e.description);
+                }
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+    }
+
+    let experiments = catalog();
+    let selected: Vec<_> = if ids.is_empty() {
+        experiments.iter().collect()
+    } else {
+        let sel: Vec<_> = experiments
+            .iter()
+            .filter(|e| ids.iter().any(|i| i == e.id))
+            .collect();
+        for id in &ids {
+            assert!(
+                experiments.iter().any(|e| e.id == id),
+                "unknown experiment id {id:?} (try --help)"
+            );
+        }
+        sel
+    };
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for e in selected {
+        let t0 = std::time::Instant::now();
+        let fig = (e.run)(fidelity);
+        let wall = t0.elapsed();
+        writeln!(out, "{}", fig.to_table()).unwrap();
+        writeln!(
+            out,
+            "# regenerated in {:.1}s wall clock at {fidelity:?} fidelity\n",
+            wall.as_secs_f64()
+        )
+        .unwrap();
+        if let Some(dir) = &json_dir {
+            std::fs::write(format!("{dir}/{}.json", fig.id), fig.to_json())
+                .expect("write json");
+        }
+    }
+}

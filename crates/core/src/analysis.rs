@@ -1,0 +1,165 @@
+//! Figure analysis helpers: extract the quantities the paper's narrative is
+//! built on — where curves cross, where performance halves, how big an
+//! optimization's win is.
+
+use crate::results::Series;
+
+/// The first x at which `s` falls below `fraction` of its peak y
+/// (log-linear interpolation between samples). `None` if it never does.
+///
+/// For delay-axis figures this answers "at what separation does this
+/// protocol lose (1 - fraction) of its performance?".
+pub fn degradation_point(s: &Series, fraction: f64) -> Option<f64> {
+    let peak = s.peak();
+    if peak <= 0.0 {
+        return None;
+    }
+    let threshold = peak * fraction;
+    let mut prev: Option<(f64, f64)> = None;
+    for &(x, y) in &s.points {
+        if y < threshold {
+            if let Some((px, py)) = prev {
+                if py > threshold && x > px {
+                    // Linear interpolation in x.
+                    let t = (py - threshold) / (py - y);
+                    return Some(px + t * (x - px));
+                }
+            }
+            return Some(x);
+        }
+        prev = Some((x, y));
+    }
+    None
+}
+
+/// The x at which series `a` stops beating series `b` (first sampled x
+/// where `a < b` after a region where `a >= b`), linearly interpolated.
+/// `None` if no crossover exists in the sampled range.
+pub fn crossover(a: &Series, b: &Series) -> Option<f64> {
+    let mut prev: Option<(f64, f64, f64)> = None;
+    for &(x, ya) in &a.points {
+        let yb = b.y_at(x)?;
+        if let Some((px, pa, pb)) = prev {
+            if pa >= pb && ya < yb {
+                // Interpolate where the difference crosses zero.
+                let d0 = pa - pb;
+                let d1 = ya - yb;
+                let t = d0 / (d0 - d1);
+                return Some(px + t * (x - px));
+            }
+        }
+        prev = Some((x, ya, yb));
+    }
+    None
+}
+
+/// The ratio `a(x) / b(x)` at a sampled x (how much better `a` is).
+pub fn improvement_at(a: &Series, b: &Series, x: f64) -> Option<f64> {
+    let ya = a.y_at(x)?;
+    let yb = b.y_at(x)?;
+    if yb == 0.0 {
+        return None;
+    }
+    Some(ya / yb)
+}
+
+/// Geometric-mean ratio of `a` over `b` across all common x (overall win).
+pub fn mean_improvement(a: &Series, b: &Series) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0;
+    for &(x, ya) in &a.points {
+        if let Some(yb) = b.y_at(x) {
+            if ya > 0.0 && yb > 0.0 {
+                log_sum += (ya / yb).ln();
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((log_sum / n as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pts: &[(f64, f64)]) -> Series {
+        let mut s = Series::new("t");
+        for &(x, y) in pts {
+            s.push(x, y);
+        }
+        s
+    }
+
+    #[test]
+    fn degradation_point_interpolates() {
+        let s = series(&[(0.0, 100.0), (10.0, 100.0), (20.0, 40.0)]);
+        // Half peak (50) crossed between x=10 (y=100) and x=20 (y=40):
+        // t = 50/60 of the way.
+        let x = degradation_point(&s, 0.5).unwrap();
+        assert!((x - (10.0 + 10.0 * 50.0 / 60.0)).abs() < 1e-9, "{x}");
+    }
+
+    #[test]
+    fn degradation_point_none_when_flat() {
+        let s = series(&[(0.0, 100.0), (10.0, 99.0)]);
+        assert_eq!(degradation_point(&s, 0.5), None);
+    }
+
+    #[test]
+    fn crossover_finds_the_flip() {
+        let a = series(&[(0.0, 10.0), (1.0, 8.0), (2.0, 2.0)]);
+        let b = series(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]);
+        let x = crossover(&a, &b).unwrap();
+        // a-b goes 3 -> -3 between x=1 and x=2: crossing at 1.5.
+        assert!((x - 1.5).abs() < 1e-9, "{x}");
+    }
+
+    #[test]
+    fn crossover_none_when_always_ahead() {
+        let a = series(&[(0.0, 10.0), (1.0, 9.0)]);
+        let b = series(&[(0.0, 5.0), (1.0, 5.0)]);
+        assert_eq!(crossover(&a, &b), None);
+    }
+
+    #[test]
+    fn improvements() {
+        let a = series(&[(1.0, 20.0), (2.0, 40.0)]);
+        let b = series(&[(1.0, 10.0), (2.0, 10.0)]);
+        assert_eq!(improvement_at(&a, &b, 1.0), Some(2.0));
+        let g = mean_improvement(&a, &b).unwrap();
+        assert!((g - (2.0f64 * 4.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nfs_crossover_from_real_figure() {
+        // End-to-end: the Figure 13 RDMA-vs-IPoIB-RC crossover lands
+        // between 100 us and 1000 us, as the paper reports.
+        use crate::Fidelity;
+        let rdma_pts: Vec<(f64, f64)> = [100u64, 1000]
+            .iter()
+            .map(|&d| {
+                let f = crate::nfs_exp::fig13_transport_comparison(d, Fidelity::Quick);
+                (
+                    d as f64,
+                    f.series("RDMA").unwrap().y_at(8.0).unwrap(),
+                )
+            })
+            .collect();
+        let rc_pts: Vec<(f64, f64)> = [100u64, 1000]
+            .iter()
+            .map(|&d| {
+                let f = crate::nfs_exp::fig13_transport_comparison(d, Fidelity::Quick);
+                (
+                    d as f64,
+                    f.series("IPoIB-RC").unwrap().y_at(8.0).unwrap(),
+                )
+            })
+            .collect();
+        let x = crossover(&series(&rdma_pts), &series(&rc_pts)).unwrap();
+        assert!((100.0..1000.0).contains(&x), "crossover at {x} us");
+    }
+}

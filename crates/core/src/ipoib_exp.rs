@@ -1,0 +1,231 @@
+//! IPoIB/TCP experiments: Figures 6 and 7.
+
+use crate::results::{Figure, Series};
+use crate::sweep::parallel_map;
+use crate::topology::wan_node_pair;
+use crate::{Fidelity, PAPER_DELAYS_US};
+use ipoib::node::{IpoibConfig, IpoibMode, IpoibNode};
+use simcore::Dur;
+use tcpstack::TcpConfig;
+
+/// The TCP window sizes swept in Figure 6(a); `None` = the default
+/// (>1 MB) window.
+pub const WINDOWS: [(&str, u64); 4] = [
+    ("64k-window", 64 << 10),
+    ("256k-window", 256 << 10),
+    ("512k-window", 512 << 10),
+    ("default", tcpstack::DEFAULT_WINDOW),
+];
+
+/// Parallel stream counts swept in Figures 6(b)/7(b).
+pub const STREAMS: [usize; 5] = [1, 2, 4, 6, 8];
+
+/// IPoIB-RC MTUs swept in Figure 7(a).
+pub const RC_MTUS: [u32; 3] = [2048, 16384, 65536];
+
+fn warm_tcp(mtu: u32, window: u64) -> TcpConfig {
+    let mut t = TcpConfig::for_mtu(mtu).with_window(window);
+    // The paper measures long-lived streams (2 MB messages in a loop):
+    // connections are warm, so skip the slow-start ramp.
+    t.init_cwnd_segments = 1 << 20;
+    t
+}
+
+/// Run one IPoIB throughput point; returns receive-side MB/s.
+pub fn run_ipoib_point(
+    cfg: IpoibConfig,
+    window: u64,
+    streams: usize,
+    delay_us: u64,
+    fidelity: Fidelity,
+) -> f64 {
+    let tcp = warm_tcp(cfg.mtu, window);
+    // Enough bytes per stream to reach steady state even when the window
+    // throttles hard at 10 ms.
+    let budget = fidelity.iters(6 << 20, 48 << 20).max(window * 8);
+    let tx = Box::new(IpoibNode::sender(cfg, tcp, streams, budget));
+    let rx = Box::new(IpoibNode::receiver(cfg, tcp, streams, budget));
+    let (mut f, a, b) = wan_node_pair(41, Dur::from_us(delay_us), tx, rx);
+    let qa = f.hca_mut(a).core_mut().create_qp(cfg.qp_config());
+    let qb = f.hca_mut(b).core_mut().create_qp(cfg.qp_config());
+    if cfg.mode == IpoibMode::Rc {
+        f.hca_mut(a).core_mut().connect(qa, (b.lid, qb));
+        f.hca_mut(b).core_mut().connect(qb, (a.lid, qa));
+    }
+    {
+        let u = f.hca_mut(a).ulp_mut::<IpoibNode>();
+        u.port.qpn = qa;
+        u.port.peer = Some((b.lid, qb));
+    }
+    {
+        let u = f.hca_mut(b).ulp_mut::<IpoibNode>();
+        u.port.qpn = qb;
+        u.port.peer = Some((a.lid, qa));
+    }
+    f.run();
+    f.hca(b).ulp::<IpoibNode>().throughput_mbs()
+}
+
+/// Figure 6(a): IPoIB-UD single-stream throughput vs WAN delay, one series
+/// per TCP window size. Figure 6(b): parallel streams with the default
+/// window.
+pub fn fig6_ipoib_ud(parallel: bool, fidelity: Fidelity) -> Figure {
+    let cfg = IpoibConfig::ud();
+    if parallel {
+        let mut fig = Figure::new(
+            "fig6b",
+            "IPoIB-UD throughput, parallel streams",
+            "delay_us",
+            "MillionBytes/s",
+        );
+        let pts: Vec<(usize, u64)> = STREAMS
+            .iter()
+            .flat_map(|&n| PAPER_DELAYS_US.iter().map(move |&d| (n, d)))
+            .collect();
+        let res = parallel_map(pts, |(n, d)| {
+            (n, d, run_ipoib_point(cfg, tcpstack::DEFAULT_WINDOW, n, d, fidelity))
+        });
+        for &n in &STREAMS {
+            let mut s = Series::new(format!("{n}-streams"));
+            for &(sn, d, bw) in &res {
+                if sn == n {
+                    s.push(d as f64, bw);
+                }
+            }
+            fig.series.push(s);
+        }
+        fig
+    } else {
+        let mut fig = Figure::new(
+            "fig6a",
+            "IPoIB-UD throughput, single stream",
+            "delay_us",
+            "MillionBytes/s",
+        );
+        let pts: Vec<(&str, u64, u64)> = WINDOWS
+            .iter()
+            .flat_map(|&(l, w)| PAPER_DELAYS_US.iter().map(move |&d| (l, w, d)))
+            .collect();
+        let res = parallel_map(pts, |(l, w, d)| (l, d, run_ipoib_point(cfg, w, 1, d, fidelity)));
+        for &(label, _) in &WINDOWS {
+            let mut s = Series::new(label);
+            for &(l, d, bw) in &res {
+                if l == label {
+                    s.push(d as f64, bw);
+                }
+            }
+            fig.series.push(s);
+        }
+        fig
+    }
+}
+
+/// Figure 7(a): IPoIB-RC single-stream throughput vs WAN delay, one series
+/// per IP MTU. Figure 7(b): parallel streams at the 64 KB MTU.
+pub fn fig7_ipoib_rc(parallel: bool, fidelity: Fidelity) -> Figure {
+    if parallel {
+        let cfg = IpoibConfig::rc(65536);
+        let mut fig = Figure::new(
+            "fig7b",
+            "IPoIB-RC throughput, parallel streams (64K MTU)",
+            "delay_us",
+            "MillionBytes/s",
+        );
+        let pts: Vec<(usize, u64)> = STREAMS
+            .iter()
+            .flat_map(|&n| PAPER_DELAYS_US.iter().map(move |&d| (n, d)))
+            .collect();
+        let res = parallel_map(pts, |(n, d)| {
+            (n, d, run_ipoib_point(cfg, tcpstack::DEFAULT_WINDOW, n, d, fidelity))
+        });
+        for &n in &STREAMS {
+            let mut s = Series::new(format!("{n}-streams"));
+            for &(sn, d, bw) in &res {
+                if sn == n {
+                    s.push(d as f64, bw);
+                }
+            }
+            fig.series.push(s);
+        }
+        fig
+    } else {
+        let mut fig = Figure::new(
+            "fig7a",
+            "IPoIB-RC throughput, single stream",
+            "delay_us",
+            "MillionBytes/s",
+        );
+        let pts: Vec<(u32, u64)> = RC_MTUS
+            .iter()
+            .flat_map(|&m| PAPER_DELAYS_US.iter().map(move |&d| (m, d)))
+            .collect();
+        let res = parallel_map(pts, |(m, d)| {
+            (
+                m,
+                d,
+                run_ipoib_point(IpoibConfig::rc(m), tcpstack::DEFAULT_WINDOW, 1, d, fidelity),
+            )
+        });
+        for &m in &RC_MTUS {
+            let mut s = Series::new(format!("{}K-MTU", m / 1024));
+            for &(sm, d, bw) in &res {
+                if sm == m {
+                    s.push(d as f64, bw);
+                }
+            }
+            fig.series.push(s);
+        }
+        fig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6a_larger_windows_win_at_delay() {
+        let f = fig6_ipoib_ud(false, Fidelity::Quick);
+        let small = f.series("64k-window").unwrap().y_at(1000.0).unwrap();
+        let default = f.series("default").unwrap().y_at(1000.0).unwrap();
+        assert!(
+            default > 3.0 * small,
+            "default window ({default}) must beat 64k ({small}) at 1 ms"
+        );
+        // Everything degrades at 10 ms with a single stream.
+        let d10 = f.series("default").unwrap().y_at(10000.0).unwrap();
+        let d0 = f.series("default").unwrap().y_at(0.0).unwrap();
+        assert!(d10 < 0.5 * d0, "single stream at 10ms {d10} vs 0 {d0}");
+    }
+
+    #[test]
+    fn fig6b_parallel_streams_sustain_at_1ms() {
+        let f = fig6_ipoib_ud(true, Fidelity::Quick);
+        // The paper: peak IPoIB-UD sustained at 1 ms with multiple streams.
+        let eight_1ms = f.series("8-streams").unwrap().y_at(1000.0).unwrap();
+        let peak = f.series("8-streams").unwrap().y_at(0.0).unwrap();
+        assert!(
+            eight_1ms > 0.85 * peak,
+            "8 streams at 1ms {eight_1ms} vs peak {peak}"
+        );
+        // At 10 ms a single default window collapses; 8 windows recover.
+        let one_10ms = f.series("1-streams").unwrap().y_at(10000.0).unwrap();
+        let eight_10ms = f.series("8-streams").unwrap().y_at(10000.0).unwrap();
+        assert!(
+            eight_10ms > 4.0 * one_10ms,
+            "8 streams {eight_10ms} vs 1 stream {one_10ms} at 10ms"
+        );
+    }
+
+    #[test]
+    fn fig7a_mtu_ordering_and_collapse() {
+        let f = fig7_ipoib_rc(false, Fidelity::Quick);
+        let m2 = f.series("2K-MTU").unwrap().y_at(0.0).unwrap();
+        let m64 = f.series("64K-MTU").unwrap().y_at(0.0).unwrap();
+        assert!(m64 > 1.5 * m2, "64K MTU ({m64}) must beat 2K ({m2})");
+        assert!((800.0..1000.0).contains(&m64), "64K MTU peak {m64}");
+        // Sharp drop beyond 1 ms (RC window on 64K messages).
+        let m64_10ms = f.series("64K-MTU").unwrap().y_at(10000.0).unwrap();
+        assert!(m64_10ms < 0.2 * m64, "64K MTU at 10ms {m64_10ms}");
+    }
+}

@@ -1,0 +1,131 @@
+//! WAN deployment planning: the paper's design guidance as arithmetic.
+//!
+//! The paper's recommendations — larger messages, larger TCP windows, more
+//! parallel streams, higher rendezvous thresholds — all reduce to one rule:
+//! *keep at least a bandwidth-delay product in flight*. This module turns
+//! that rule into planning functions, each verified against the simulator
+//! in this crate's tests.
+
+use crate::adaptive;
+use mpisim::proto::MpiConfig;
+use simcore::{Dur, Rate};
+
+/// Fixed fabric latency on the cluster-of-clusters path beyond the emulated
+/// wire delay: host + switches + the Longbow pair (≈7 µs one way).
+pub const PATH_OVERHEAD: Dur = Dur::from_us(7);
+
+/// Round-trip time across the WAN for a given one-way emulated wire delay.
+pub fn rtt_for(delay: Dur) -> Dur {
+    (delay + PATH_OVERHEAD) * 2
+}
+
+/// The bandwidth-delay product to fill for `target` throughput at `delay`.
+pub fn bdp_bytes(target: Rate, delay: Dur) -> u64 {
+    let rtt = rtt_for(delay);
+    // bytes = rate * time; rate is ps/byte.
+    let ps = target.ps_per_byte().max(1);
+    rtt.as_ns() * 1000 / ps
+}
+
+/// Minimum TCP window to sustain `target` on a single stream at `delay`
+/// (Figure 6(a)'s knob).
+pub fn tcp_window_for(target: Rate, delay: Dur) -> u64 {
+    bdp_bytes(target, delay)
+}
+
+/// Minimum number of parallel TCP streams of `window` bytes each to sustain
+/// `target` at `delay` (Figure 6(b)/7(b)'s knob).
+pub fn parallel_streams_for(target: Rate, window: u64, delay: Dur) -> usize {
+    bdp_bytes(target, delay).div_ceil(window.max(1)) as usize
+}
+
+/// Minimum RC message size to sustain `target` at `delay` given the
+/// transport keeps at most `inflight_msgs` messages un-ACKed (Figure 5's
+/// mechanism; 16 on the modeled HCAs).
+pub fn rc_message_size_for(target: Rate, delay: Dur, inflight_msgs: u64) -> u64 {
+    bdp_bytes(target, delay).div_ceil(inflight_msgs.max(1))
+}
+
+/// An MPI configuration tuned for the given distance (threshold picked by
+/// the adaptive break-even rule).
+pub fn mpi_config_for(delay: Dur) -> MpiConfig {
+    adaptive::adaptive_config(rtt_for(delay))
+}
+
+/// A human-readable deployment plan for reaching `target` at `delay`.
+pub fn plan_summary(target: Rate, delay: Dur) -> String {
+    let km = obsidian::km_for_wire_delay(delay);
+    format!(
+        "distance {km} km (one-way delay {delay}): RTT {rtt}, BDP {bdp} bytes;\n\
+         single TCP stream needs a >= {wnd} byte window (or {streams} streams of 1 MB);\n\
+         RC transport needs >= {rcmsg} byte messages (16 in flight);\n\
+         MPI rendezvous threshold -> {thresh} KB",
+        rtt = rtt_for(delay),
+        bdp = bdp_bytes(target, delay),
+        wnd = tcp_window_for(target, delay),
+        streams = parallel_streams_for(target, 1 << 20, delay),
+        rcmsg = rc_message_size_for(target, delay, 16),
+        thresh = mpi_config_for(delay).eager_threshold / 1024,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipoib_exp::run_ipoib_point;
+    use crate::Fidelity;
+    use ipoib::node::IpoibConfig;
+
+    #[test]
+    fn bdp_arithmetic() {
+        // 1000 MB/s at 1 ms one-way: RTT 2.014 ms -> ~2.014 MB.
+        let bdp = bdp_bytes(Rate::from_mbytes_per_sec(1000), Dur::from_ms(1));
+        assert!((2_000_000..2_100_000).contains(&bdp), "{bdp}");
+    }
+
+    #[test]
+    fn window_plan_is_achieved_in_simulation() {
+        // Plan a window for 200 MB/s at 1 ms, then verify the simulator
+        // delivers at least 80% of the target with that window.
+        let target = Rate::from_mbytes_per_sec(200);
+        let delay = Dur::from_ms(1);
+        let window = tcp_window_for(target, delay);
+        let got = run_ipoib_point(IpoibConfig::ud(), window, 1, 1000, Fidelity::Quick);
+        assert!(
+            got >= 160.0,
+            "planned window {window} delivered only {got} MB/s"
+        );
+        // And that half the planned window cannot reach the target.
+        let starved = run_ipoib_point(IpoibConfig::ud(), window / 2, 1, 1000, Fidelity::Quick);
+        assert!(starved < 160.0, "half window still hit {starved}");
+    }
+
+    #[test]
+    fn stream_plan_matches_window_plan() {
+        let target = Rate::from_mbytes_per_sec(400);
+        let delay = Dur::from_ms(10);
+        let one_big = tcp_window_for(target, delay);
+        let n = parallel_streams_for(target, 1 << 20, delay);
+        assert_eq!(n as u64, one_big.div_ceil(1 << 20));
+        assert!(n >= 8, "10 ms at 400 MB/s needs many 1 MB streams: {n}");
+    }
+
+    #[test]
+    fn rc_message_plan_matches_fig5() {
+        // At 10 ms the plan demands multi-megabyte messages for near-peak
+        // RC bandwidth — exactly where Figure 5 recovers.
+        let sz = rc_message_size_for(Rate::from_mbytes_per_sec(900), Dur::from_ms(10), 16);
+        assert!(sz > 1_000_000, "{sz}");
+        // On the LAN, small messages suffice.
+        let lan = rc_message_size_for(Rate::from_mbytes_per_sec(900), Dur::ZERO, 16);
+        assert!(lan < 2048, "{lan}");
+    }
+
+    #[test]
+    fn summary_mentions_the_knobs() {
+        let s = plan_summary(Rate::from_mbytes_per_sec(500), Dur::from_ms(1));
+        assert!(s.contains("200 km"));
+        assert!(s.contains("window"));
+        assert!(s.contains("rendezvous threshold"));
+    }
+}

@@ -1,0 +1,525 @@
+//! Declarative experiment scenarios: a JSON-serializable description of a
+//! cluster-of-clusters topology plus a workload, runnable with one call —
+//! the `ibwan-sim` binary's input format.
+//!
+//! ```
+//! use ibwan_core::scenario::{Scenario, Topology, Workload};
+//!
+//! let s = Scenario {
+//!     name: "quick-check".into(),
+//!     seed: 1,
+//!     topology: Topology { delay_us: 1000, loss_ppm: 0 },
+//!     workload: Workload::MpiLatency { size: 4, iters: 10 },
+//! };
+//! let r = s.run();
+//! assert_eq!(r.unit, "us");
+//! assert!(r.value > 1000.0); // one-way latency exceeds the wire delay
+//! ```
+
+use crate::topology::{wan_node_pair, wan_node_pair_lossy};
+use ibfabric::perftest::{rc_qp_pair, ud_qp_pair, BwConfig, BwPeer, LatMode, PingPong};
+use ibfabric::qp::QpConfig;
+use ipoib::node::{IpoibConfig, IpoibMode, IpoibNode};
+use mpisim::bench as mpibench;
+use mpisim::proto::{MpiConfig, RndvProtocol};
+use mpisim::world::JobSpec;
+use nasbench::NasBenchmark;
+use nfssim::{run_read_experiment, NfsSetup, Transport as NfsTransport};
+use serde::{Deserialize, Serialize};
+use simcore::Dur;
+use tcpstack::TcpConfig;
+
+/// The WAN separating the two clusters.
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    /// One-way emulated wire delay in microseconds (5 µs ≈ 1 km).
+    #[serde(default)]
+    pub delay_us: u64,
+    /// WAN packet loss, parts per million (verbs workloads only).
+    #[serde(default)]
+    pub loss_ppm: u32,
+}
+
+/// Which benchmark to run across the WAN.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Workload {
+    /// Verbs-level ping-pong latency (`ib_send_lat`-style).
+    VerbsLatency {
+        /// "send_rc", "send_ud", or "write_rc".
+        mode: String,
+        /// Message size in bytes.
+        size: u32,
+        /// Ping-pong rounds.
+        iters: u32,
+    },
+    /// Verbs-level streaming bandwidth (`ib_send_bw`-style).
+    VerbsBandwidth {
+        /// "rc" or "ud".
+        transport: String,
+        /// Message size.
+        size: u32,
+        /// Messages to stream.
+        iters: u64,
+    },
+    /// IPoIB/TCP throughput (iperf-style).
+    Ipoib {
+        /// "ud" or "rc".
+        mode: String,
+        /// IP MTU (2048 for UD; up to 65536 for RC).
+        mtu: u32,
+        /// TCP window bytes.
+        window: u64,
+        /// Parallel TCP streams.
+        streams: usize,
+        /// Bytes per stream.
+        bytes_per_stream: u64,
+    },
+    /// MPI one-way latency.
+    MpiLatency {
+        /// Message size.
+        size: u32,
+        /// Rounds.
+        iters: u32,
+    },
+    /// MPI streaming bandwidth with a tunable rendezvous setup.
+    MpiBandwidth {
+        /// Message size.
+        size: u32,
+        /// Messages per window.
+        window: u32,
+        /// Windows.
+        iters: u32,
+        /// Eager/rendezvous threshold in bytes (0 = MVAPICH2 default 8 K).
+        #[serde(default)]
+        eager_threshold: u32,
+        /// "rput" (default), "rget", or "r3".
+        #[serde(default)]
+        rndv_protocol: String,
+    },
+    /// MPI broadcast latency across two clusters.
+    MpiBcast {
+        /// Ranks per cluster.
+        ranks_per_cluster: usize,
+        /// Message size.
+        size: u32,
+        /// Iterations.
+        iters: u32,
+        /// Use the WAN-aware hierarchical algorithm.
+        #[serde(default)]
+        hierarchical: bool,
+    },
+    /// Multi-pair aggregate message rate.
+    MessageRate {
+        /// Communicating pairs (one rank per cluster each).
+        pairs: usize,
+        /// Message size.
+        size: u32,
+        /// Window per pair.
+        window: u32,
+        /// Iterations.
+        iters: u32,
+    },
+    /// A NAS class-B skeleton across the two clusters.
+    Nas {
+        /// "is", "ft", or "cg".
+        benchmark: String,
+        /// Ranks per cluster.
+        ranks_per_cluster: usize,
+    },
+    /// A parameterized synthetic communication pattern (see
+    /// [`mpisim::patterns::Pattern`]).
+    MpiPattern {
+        /// Ranks per cluster.
+        ranks_per_cluster: usize,
+        /// The pattern description.
+        spec: mpisim::patterns::Pattern,
+    },
+    /// NFS read/write throughput.
+    Nfs {
+        /// "rdma", "ipoib_rc", or "ipoib_ud".
+        transport: String,
+        /// Client threads.
+        threads: usize,
+        /// File size in MiB.
+        file_mib: u64,
+        /// Write instead of read.
+        #[serde(default)]
+        write: bool,
+    },
+}
+
+/// A complete runnable experiment description.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Display name.
+    pub name: String,
+    /// Deterministic engine seed.
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// The WAN configuration.
+    pub topology: Topology,
+    /// The benchmark.
+    pub workload: Workload,
+}
+
+fn default_seed() -> u64 {
+    42
+}
+
+/// The scalar outcome of a scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// What was measured ("latency", "bandwidth", ...).
+    pub metric: String,
+    /// The value.
+    pub value: f64,
+    /// The unit ("us", "MB/s", "Mmsg/s", "s").
+    pub unit: String,
+}
+
+impl Scenario {
+    /// Parse a scenario from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serialize to pretty JSON (for `ibwan-sim --example`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serializes")
+    }
+
+    /// Run the scenario and return its headline number.
+    pub fn run(&self) -> ScenarioResult {
+        let delay = Dur::from_us(self.topology.delay_us);
+        let loss = self.topology.loss_ppm;
+        let result = |metric: &str, value: f64, unit: &str| ScenarioResult {
+            name: self.name.clone(),
+            metric: metric.into(),
+            value,
+            unit: unit.into(),
+        };
+        match &self.workload {
+            Workload::VerbsLatency { mode, size, iters } => {
+                let m = match mode.as_str() {
+                    "send_rc" => LatMode::SendRc,
+                    "send_ud" => LatMode::SendUd,
+                    "write_rc" => LatMode::WriteRc,
+                    other => panic!("unknown latency mode {other:?}"),
+                };
+                let mk = |init| Box::new(PingPong::new(m, init, *size, *iters));
+                let (mut f, a, b) =
+                    wan_node_pair_lossy(self.seed, delay, loss, mk(true), mk(false));
+                match m {
+                    LatMode::SendUd => {
+                        assert_eq!(loss, 0, "UD has no retransmission; lossy latency undefined");
+                        let (qa, qb) = ud_qp_pair(&mut f, a, b, QpConfig::ud());
+                        let u = f.hca_mut(a).ulp_mut::<PingPong>();
+                        u.qpn = qa;
+                        u.peer = Some((b.lid, qb));
+                        let v = f.hca_mut(b).ulp_mut::<PingPong>();
+                        v.qpn = qb;
+                        v.peer = Some((a.lid, qa));
+                    }
+                    LatMode::SendRc | LatMode::WriteRc => {
+                        let qp = if m == LatMode::WriteRc {
+                            QpConfig::rc().with_write_notify()
+                        } else {
+                            QpConfig::rc()
+                        };
+                        let (qa, qb) = rc_qp_pair(&mut f, a, b, qp);
+                        f.hca_mut(a).ulp_mut::<PingPong>().qpn = qa;
+                        f.hca_mut(b).ulp_mut::<PingPong>().qpn = qb;
+                    }
+                }
+                f.run();
+                result("latency", f.hca(a).ulp::<PingPong>().mean_latency_us(), "us")
+            }
+            Workload::VerbsBandwidth { transport, size, iters } => {
+                let ud = match transport.as_str() {
+                    "ud" => true,
+                    "rc" => false,
+                    other => panic!("unknown transport {other:?}"),
+                };
+                let (mut f, a, b) = wan_node_pair_lossy(
+                    self.seed,
+                    delay,
+                    loss,
+                    Box::new(BwPeer::sender(BwConfig::new(*size, *iters))),
+                    Box::new(BwPeer::receiver()),
+                );
+                if ud {
+                    assert_eq!(loss, 0, "UD drops under loss; bandwidth undefined");
+                    let (qa, qb) = ud_qp_pair(&mut f, a, b, QpConfig::ud());
+                    let u = f.hca_mut(a).ulp_mut::<BwPeer>();
+                    u.qpn = qa;
+                    u.peer = Some((b.lid, qb));
+                    f.hca_mut(b).ulp_mut::<BwPeer>().qpn = qb;
+                } else {
+                    let (qa, qb) = rc_qp_pair(&mut f, a, b, QpConfig::rc());
+                    f.hca_mut(a).ulp_mut::<BwPeer>().qpn = qa;
+                    f.hca_mut(b).ulp_mut::<BwPeer>().qpn = qb;
+                }
+                f.run();
+                let bw = if ud {
+                    f.hca(b).ulp::<BwPeer>().rx_bandwidth_mbs()
+                } else {
+                    f.hca(a).ulp::<BwPeer>().bandwidth_mbs()
+                };
+                result("bandwidth", bw, "MB/s")
+            }
+            Workload::Ipoib { mode, mtu, window, streams, bytes_per_stream } => {
+                assert_eq!(loss, 0, "IPoIB workload models a pristine WAN");
+                let cfg = match mode.as_str() {
+                    "ud" => IpoibConfig::ud(),
+                    "rc" => IpoibConfig::rc(*mtu),
+                    other => panic!("unknown IPoIB mode {other:?}"),
+                };
+                let mut tcp = TcpConfig::for_mtu(cfg.mtu).with_window(*window);
+                tcp.init_cwnd_segments = 1 << 20;
+                let tx = Box::new(IpoibNode::sender(cfg, tcp, *streams, *bytes_per_stream));
+                let rx = Box::new(IpoibNode::receiver(cfg, tcp, *streams, *bytes_per_stream));
+                let (mut f, a, b) = wan_node_pair(self.seed, delay, tx, rx);
+                let qa = f.hca_mut(a).core_mut().create_qp(cfg.qp_config());
+                let qb = f.hca_mut(b).core_mut().create_qp(cfg.qp_config());
+                if cfg.mode == IpoibMode::Rc {
+                    f.hca_mut(a).core_mut().connect(qa, (b.lid, qb));
+                    f.hca_mut(b).core_mut().connect(qb, (a.lid, qa));
+                }
+                {
+                    let u = f.hca_mut(a).ulp_mut::<IpoibNode>();
+                    u.port.qpn = qa;
+                    u.port.peer = Some((b.lid, qb));
+                }
+                {
+                    let u = f.hca_mut(b).ulp_mut::<IpoibNode>();
+                    u.port.qpn = qb;
+                    u.port.peer = Some((a.lid, qa));
+                }
+                f.run();
+                result("throughput", f.hca(b).ulp::<IpoibNode>().throughput_mbs(), "MB/s")
+            }
+            Workload::MpiLatency { size, iters } => {
+                assert_eq!(loss, 0, "MPI workloads model a pristine WAN");
+                let spec = JobSpec::two_clusters(1, 1, delay);
+                result("latency", mpibench::osu_latency(spec, *size, *iters), "us")
+            }
+            Workload::MpiBandwidth { size, window, iters, eager_threshold, rndv_protocol } => {
+                assert_eq!(loss, 0, "MPI workloads model a pristine WAN");
+                let mut cfg = MpiConfig::default();
+                if *eager_threshold > 0 {
+                    cfg.eager_threshold = *eager_threshold;
+                }
+                cfg.rndv_protocol = match rndv_protocol.as_str() {
+                    "" | "rput" => RndvProtocol::Rput,
+                    "rget" => RndvProtocol::Rget,
+                    "r3" => RndvProtocol::R3,
+                    other => panic!("unknown rendezvous protocol {other:?}"),
+                };
+                let spec = JobSpec::two_clusters(1, 1, delay).with_mpi(cfg);
+                result(
+                    "bandwidth",
+                    mpibench::osu_bw(spec, *size, *window, *iters),
+                    "MB/s",
+                )
+            }
+            Workload::MpiBcast { ranks_per_cluster, size, iters, hierarchical } => {
+                assert_eq!(loss, 0, "MPI workloads model a pristine WAN");
+                let spec = JobSpec::two_clusters(*ranks_per_cluster, *ranks_per_cluster, delay);
+                result(
+                    "bcast_latency",
+                    mpibench::osu_bcast(spec, *size, *iters, *hierarchical),
+                    "us",
+                )
+            }
+            Workload::MessageRate { pairs, size, window, iters } => {
+                assert_eq!(loss, 0, "MPI workloads model a pristine WAN");
+                let spec = JobSpec::two_clusters(*pairs, *pairs, delay);
+                result(
+                    "message_rate",
+                    mpibench::msg_rate(spec, *pairs, *size, *window, *iters),
+                    "Mmsg/s",
+                )
+            }
+            Workload::Nas { benchmark, ranks_per_cluster } => {
+                assert_eq!(loss, 0, "NAS workloads model a pristine WAN");
+                let bench = match benchmark.as_str() {
+                    "is" => NasBenchmark::Is,
+                    "ft" => NasBenchmark::Ft,
+                    "cg" => NasBenchmark::Cg,
+                    "ep" => NasBenchmark::Ep,
+                    "mg" => NasBenchmark::Mg,
+                    other => panic!("unknown NAS benchmark {other:?}"),
+                };
+                let r = nasbench::run(bench, *ranks_per_cluster, *ranks_per_cluster, delay);
+                result("time", r.time_secs, "s")
+            }
+            Workload::MpiPattern { ranks_per_cluster, spec } => {
+                assert_eq!(loss, 0, "MPI workloads model a pristine WAN");
+                if let Some(req) = spec.required_ranks() {
+                    assert_eq!(
+                        req,
+                        2 * ranks_per_cluster,
+                        "pattern {} needs exactly {req} ranks",
+                        spec.name()
+                    );
+                }
+                let js = JobSpec::two_clusters(*ranks_per_cluster, *ranks_per_cluster, delay);
+                let mut job = mpisim::world::MpiJob::build(js, |rank, n| spec.ops(rank, n));
+                job.run();
+                let n = 2 * ranks_per_cluster;
+                let t0 = (0..n)
+                    .filter_map(|r| job.process(r).runner.mark(0))
+                    .min()
+                    .expect("pattern records marks");
+                let t1 = (0..n)
+                    .filter_map(|r| job.process(r).runner.mark(1))
+                    .max()
+                    .expect("pattern records marks");
+                result("time", t1.since(t0).as_secs_f64(), "s")
+            }
+            Workload::Nfs { transport, threads, file_mib, write } => {
+                assert_eq!(loss, 0, "NFS workloads model a pristine WAN");
+                let t = match transport.as_str() {
+                    "rdma" => NfsTransport::Rdma,
+                    "ipoib_rc" => NfsTransport::IpoibRc,
+                    "ipoib_ud" => NfsTransport::IpoibUd,
+                    other => panic!("unknown NFS transport {other:?}"),
+                };
+                let mut s = NfsSetup::scaled(t, *threads, Some(delay));
+                s.file_size = file_mib << 20;
+                s.write = *write;
+                result("throughput", run_read_experiment(s).mbs, "MB/s")
+            }
+        }
+    }
+}
+
+/// A ready-made example scenario (what `ibwan-sim --example` prints).
+pub fn example_scenario() -> Scenario {
+    Scenario {
+        name: "mpi-bw-200km-tuned".into(),
+        seed: 42,
+        topology: Topology {
+            delay_us: 1000,
+            loss_ppm: 0,
+        },
+        workload: Workload::MpiBandwidth {
+            size: 16384,
+            window: 64,
+            iters: 4,
+            eager_threshold: 65536,
+            rndv_protocol: "rput".into(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let s = example_scenario();
+        let j = s.to_json();
+        let back = Scenario::from_json(&j).unwrap();
+        assert_eq!(back.name, s.name);
+        assert_eq!(back.topology.delay_us, 1000);
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let j = r#"{
+            "name": "minimal",
+            "topology": { "delay_us": 10 },
+            "workload": { "kind": "mpi_latency", "size": 4, "iters": 5 }
+        }"#;
+        let s = Scenario::from_json(j).unwrap();
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.topology.loss_ppm, 0);
+        let r = s.run();
+        assert_eq!(r.unit, "us");
+        assert!(r.value > 10.0 && r.value < 40.0, "{}", r.value);
+    }
+
+    #[test]
+    fn verbs_bandwidth_scenario_runs_with_loss() {
+        let s = Scenario {
+            name: "lossy".into(),
+            seed: 7,
+            topology: Topology {
+                delay_us: 50,
+                loss_ppm: 10_000,
+            },
+            workload: Workload::VerbsBandwidth {
+                transport: "rc".into(),
+                size: 4096,
+                iters: 100,
+            },
+        };
+        let r = s.run();
+        assert!(r.value > 0.0);
+    }
+
+    #[test]
+    fn nfs_scenario_runs() {
+        let s = Scenario {
+            name: "nfs".into(),
+            seed: 1,
+            topology: Topology {
+                delay_us: 100,
+                loss_ppm: 0,
+            },
+            workload: Workload::Nfs {
+                transport: "rdma".into(),
+                threads: 4,
+                file_mib: 8,
+                write: false,
+            },
+        };
+        let r = s.run();
+        assert_eq!(r.unit, "MB/s");
+        assert!(r.value > 10.0);
+    }
+
+    #[test]
+    fn pattern_scenario_runs_from_json() {
+        let j = r#"{
+            "name": "halo",
+            "topology": { "delay_us": 100 },
+            "workload": {
+                "kind": "mpi_pattern",
+                "ranks_per_cluster": 4,
+                "spec": {
+                    "pattern": "halo2d",
+                    "rows": 2, "cols": 4,
+                    "face_bytes": 8192, "iters": 3, "compute_us": 50
+                }
+            }
+        }"#;
+        let s = Scenario::from_json(j).unwrap();
+        let r = s.run();
+        assert_eq!(r.unit, "s");
+        assert!(r.value > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown NAS benchmark")]
+    fn bad_benchmark_name_panics() {
+        let s = Scenario {
+            name: "bad".into(),
+            seed: 1,
+            topology: Topology {
+                delay_us: 0,
+                loss_ppm: 0,
+            },
+            workload: Workload::Nas {
+                benchmark: "lu".into(),
+                ranks_per_cluster: 4,
+            },
+        };
+        s.run();
+    }
+}

@@ -1,0 +1,44 @@
+//! Parallel parameter sweeps: each simulation is single-threaded and
+//! deterministic, so independent configurations fan out across OS threads.
+
+/// Map `f` over `inputs` in parallel, preserving order. Uses scoped threads
+/// (one per input, bounded by the OS scheduler — sweep sizes here are tens
+/// of configurations).
+pub fn parallel_map<I, T, F>(inputs: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = inputs.len();
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n);
+        for (i, input) in inputs.into_iter().enumerate() {
+            let fref = &f;
+            handles.push((i, s.spawn(move |_| fref(input))));
+        }
+        for (i, h) in handles {
+            out[i] = Some(h.join().expect("sweep worker panicked"));
+        }
+    })
+    .expect("sweep scope");
+    out.into_iter().map(|o| o.expect("missing result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..32).collect(), |x: i32| x * x);
+        assert_eq!(out, (0..32).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn propagates_panics() {
+        parallel_map(vec![1], |_: i32| -> i32 { panic!("boom") });
+    }
+}

@@ -1,0 +1,117 @@
+//! Cluster-of-clusters topology helpers (the paper's Figure 1/2 setup).
+
+use ibfabric::fabric::{Fabric, FabricBuilder, NodeHandle};
+use ibfabric::hca::HcaConfig;
+use ibfabric::link::LinkConfig;
+use ibfabric::ulp::Ulp;
+use obsidian::{LongbowConfig, LongbowPair};
+use simcore::Dur;
+
+/// Two single-node clusters joined by a Longbow pair emulating `delay`
+/// (one node from each cluster, as in the paper's point-to-point WAN
+/// microbenchmarks). Returns `(fabric, node_a, node_b)`.
+pub fn wan_node_pair(
+    seed: u64,
+    delay: Dur,
+    ulp_a: Box<dyn Ulp>,
+    ulp_b: Box<dyn Ulp>,
+) -> (Fabric, NodeHandle, NodeHandle) {
+    let mut b = FabricBuilder::new(seed);
+    let a = b.add_hca(HcaConfig::default(), ulp_a);
+    let n2 = b.add_hca(HcaConfig::default(), ulp_b);
+    let sw_a = b.add_switch();
+    let sw_b = b.add_switch();
+    b.link(a.actor, sw_a, LinkConfig::ddr_lan());
+    b.link(n2.actor, sw_b, LinkConfig::ddr_lan());
+    LongbowPair::insert(&mut b, sw_a, sw_b, delay);
+    (b.finish(), a, n2)
+}
+
+/// Like [`wan_node_pair`], but with packet loss injected on the WAN link
+/// (parts per million) — exercises the RC retransmission machinery.
+pub fn wan_node_pair_lossy(
+    seed: u64,
+    delay: Dur,
+    loss_per_million: u32,
+    ulp_a: Box<dyn Ulp>,
+    ulp_b: Box<dyn Ulp>,
+) -> (Fabric, NodeHandle, NodeHandle) {
+    let mut b = FabricBuilder::new(seed);
+    let a = b.add_hca(HcaConfig::default(), ulp_a);
+    let n2 = b.add_hca(HcaConfig::default(), ulp_b);
+    let sw_a = b.add_switch();
+    let sw_b = b.add_switch();
+    b.link(a.actor, sw_a, LinkConfig::ddr_lan());
+    b.link(n2.actor, sw_b, LinkConfig::ddr_lan());
+    LongbowPair::insert_with(
+        &mut b,
+        sw_a,
+        sw_b,
+        LongbowConfig {
+            injected_delay: delay / 2,
+            loss_per_million,
+            ..LongbowConfig::default()
+        },
+    );
+    (b.finish(), a, n2)
+}
+
+/// Two nodes cabled back-to-back on the DDR LAN (the paper's baseline for
+/// the Figure 3 latency comparison).
+pub fn lan_node_pair(
+    seed: u64,
+    ulp_a: Box<dyn Ulp>,
+    ulp_b: Box<dyn Ulp>,
+) -> (Fabric, NodeHandle, NodeHandle) {
+    let mut b = FabricBuilder::new(seed);
+    let a = b.add_hca(HcaConfig::default(), ulp_a);
+    let n2 = b.add_hca(HcaConfig::default(), ulp_b);
+    b.link(a.actor, n2.actor, LinkConfig::ddr_lan());
+    (b.finish(), a, n2)
+}
+
+/// A full cluster-of-clusters fabric: `nodes_a + nodes_b` HCAs on two
+/// DDR clusters joined by a Longbow pair. Generic over per-node ULPs.
+pub fn cluster_of_clusters<F>(
+    seed: u64,
+    nodes_a: usize,
+    nodes_b: usize,
+    delay: Dur,
+    mut ulp_for: F,
+) -> (Fabric, Vec<NodeHandle>)
+where
+    F: FnMut(usize) -> Box<dyn Ulp>,
+{
+    let mut b = FabricBuilder::new(seed);
+    let mut nodes = Vec::with_capacity(nodes_a + nodes_b);
+    for i in 0..nodes_a + nodes_b {
+        nodes.push(b.add_hca(HcaConfig::default(), ulp_for(i)));
+    }
+    let sw_a = b.add_switch();
+    for n in nodes.iter().take(nodes_a) {
+        b.link(n.actor, sw_a, LinkConfig::ddr_lan());
+    }
+    if nodes_b > 0 {
+        let sw_b = b.add_switch();
+        for n in nodes.iter().skip(nodes_a) {
+            b.link(n.actor, sw_b, LinkConfig::ddr_lan());
+        }
+        LongbowPair::insert(&mut b, sw_a, sw_b, delay);
+    }
+    (b.finish(), nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfabric::ulp::NullUlp;
+
+    #[test]
+    fn builders_produce_expected_node_counts() {
+        let (f, _a, _b) = wan_node_pair(1, Dur::from_us(10), Box::new(NullUlp), Box::new(NullUlp));
+        assert_eq!(f.nodes().len(), 2);
+        let (f2, nodes) = cluster_of_clusters(1, 3, 2, Dur::ZERO, |_| Box::new(NullUlp));
+        assert_eq!(nodes.len(), 5);
+        assert_eq!(f2.nodes().len(), 5);
+    }
+}

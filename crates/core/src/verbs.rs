@@ -1,0 +1,298 @@
+//! Verbs-level experiments: Table 1 and Figures 3–5.
+
+use crate::results::{Figure, Series};
+use crate::sweep::parallel_map;
+use crate::topology::{lan_node_pair, wan_node_pair};
+use crate::{Fidelity, PAPER_DELAYS_US};
+use ibfabric::perftest::{rc_qp_pair, ud_qp_pair, BwConfig, BwPeer, LatMode, PingPong};
+use ibfabric::qp::QpConfig;
+use ibfabric::verbs::SendKind;
+use obsidian::km_for_wire_delay;
+use simcore::Dur;
+
+/// Table 1: emulated-distance ↔ injected-delay mapping.
+pub fn table1() -> Figure {
+    let mut fig = Figure::new(
+        "table1",
+        "Delay overhead corresponding to wire length",
+        "distance_km",
+        "delay_us",
+    );
+    let mut s = Series::new("one-way-delay");
+    for km in [1u64, 20, 200, 2000] {
+        let d = obsidian::wire_delay_for_km(km);
+        s.push(km as f64, d.as_us_f64());
+        debug_assert_eq!(km_for_wire_delay(d), km);
+    }
+    fig.series.push(s);
+    fig
+}
+
+/// Message sizes for the latency test (bytes).
+const LAT_SIZES: [u32; 6] = [1, 4, 16, 64, 256, 1024];
+
+fn run_latency(through_wan: bool, mode: LatMode, size: u32, iters: u32) -> f64 {
+    let a_ulp = Box::new(PingPong::new(mode, true, size, iters));
+    let b_ulp = Box::new(PingPong::new(mode, false, size, iters));
+    let (mut f, a, b) = if through_wan {
+        wan_node_pair(31, Dur::ZERO, a_ulp, b_ulp)
+    } else {
+        lan_node_pair(31, a_ulp, b_ulp)
+    };
+    match mode {
+        LatMode::SendUd => {
+            let (qa, qb) = ud_qp_pair(&mut f, a, b, QpConfig::ud());
+            {
+                let u = f.hca_mut(a).ulp_mut::<PingPong>();
+                u.qpn = qa;
+                u.peer = Some((b.lid, qb));
+            }
+            {
+                let u = f.hca_mut(b).ulp_mut::<PingPong>();
+                u.qpn = qb;
+                u.peer = Some((a.lid, qa));
+            }
+        }
+        LatMode::SendRc | LatMode::WriteRc => {
+            let qp = if mode == LatMode::WriteRc {
+                QpConfig::rc().with_write_notify()
+            } else {
+                QpConfig::rc()
+            };
+            let (qa, qb) = rc_qp_pair(&mut f, a, b, qp);
+            f.hca_mut(a).ulp_mut::<PingPong>().qpn = qa;
+            f.hca_mut(b).ulp_mut::<PingPong>().qpn = qb;
+        }
+    }
+    f.run();
+    f.hca(a).ulp::<PingPong>().mean_latency_us()
+}
+
+/// Figure 3: verbs small-message latency for Send/Recv UD, Send/Recv RC,
+/// and RDMA-Write RC through the Longbow pair (0 injected delay), plus the
+/// back-to-back Send/Recv RC baseline.
+pub fn fig3_latency(fidelity: Fidelity) -> Figure {
+    let iters = fidelity.iters(50, 500) as u32;
+    let mut fig = Figure::new(
+        "fig3",
+        "Verbs-level latency (through Longbows at 0 delay vs back-to-back)",
+        "msg_bytes",
+        "latency_us",
+    );
+    let variants: [(&str, bool, LatMode); 4] = [
+        ("SendRecv/UD", true, LatMode::SendUd),
+        ("SendRecv/RC", true, LatMode::SendRc),
+        ("RDMAWrite/RC", true, LatMode::WriteRc),
+        ("BackToBack-SR/RC", false, LatMode::SendRc),
+    ];
+    let results = parallel_map(
+        variants
+            .iter()
+            .flat_map(|&(label, wan, mode)| {
+                LAT_SIZES.iter().map(move |&s| (label, wan, mode, s))
+            })
+            .collect::<Vec<_>>(),
+        |(label, wan, mode, size)| (label, size, run_latency(wan, mode, size, iters)),
+    );
+    for &(label, _, _) in &variants {
+        let mut s = Series::new(label);
+        for &(l, size, lat) in &results {
+            if l == label {
+                s.push(size as f64, lat);
+            }
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// How many messages to push for a bandwidth point at `size` bytes.
+fn bw_iters(fidelity: Fidelity, size: u32) -> u64 {
+    let budget: u64 = fidelity.iters(8 << 20, 64 << 20);
+    (budget / size.max(1) as u64).clamp(48, fidelity.iters(2000, 20000))
+}
+
+struct BwPoint {
+    delay_us: u64,
+    size: u32,
+    bidir: bool,
+    ud: bool,
+}
+
+fn run_bw_point(p: &BwPoint, fidelity: Fidelity) -> f64 {
+    let iters = bw_iters(fidelity, p.size);
+    let mk = |tx: bool| -> Box<BwPeer> {
+        if tx {
+            let mut cfg = BwConfig::new(p.size, iters);
+            cfg.kind = SendKind::Send;
+            Box::new(BwPeer::sender(cfg))
+        } else {
+            Box::new(BwPeer::receiver())
+        }
+    };
+    let (mut f, a, b) = wan_node_pair(
+        33,
+        Dur::from_us(p.delay_us),
+        mk(true),
+        mk(p.bidir),
+    );
+    if p.ud {
+        let (qa, qb) = ud_qp_pair(&mut f, a, b, QpConfig::ud());
+        {
+            let u = f.hca_mut(a).ulp_mut::<BwPeer>();
+            u.qpn = qa;
+            u.peer = Some((b.lid, qb));
+        }
+        {
+            let u = f.hca_mut(b).ulp_mut::<BwPeer>();
+            u.qpn = qb;
+            u.peer = Some((a.lid, qa));
+        }
+    } else {
+        let (qa, qb) = rc_qp_pair(&mut f, a, b, QpConfig::rc());
+        f.hca_mut(a).ulp_mut::<BwPeer>().qpn = qa;
+        f.hca_mut(b).ulp_mut::<BwPeer>().qpn = qb;
+    }
+    f.run();
+    if p.ud {
+        // UD senders get no transport feedback: measure at the receivers,
+        // where the SDR WAN rate is visible.
+        let fwd = f.hca(b).ulp::<BwPeer>().rx_bandwidth_mbs();
+        if p.bidir {
+            fwd + f.hca(a).ulp::<BwPeer>().rx_bandwidth_mbs()
+        } else {
+            fwd
+        }
+    } else {
+        let fwd = f.hca(a).ulp::<BwPeer>().bandwidth_mbs();
+        if p.bidir {
+            fwd + f.hca(b).ulp::<BwPeer>().bandwidth_mbs()
+        } else {
+            fwd
+        }
+    }
+}
+
+fn bw_figure(
+    id: &str,
+    title: &str,
+    sizes: &[u32],
+    ud: bool,
+    bidir: bool,
+    fidelity: Fidelity,
+) -> Figure {
+    let mut fig = Figure::new(id, title, "msg_bytes", "MillionBytes/s");
+    let points: Vec<BwPoint> = PAPER_DELAYS_US
+        .iter()
+        .flat_map(|&d| {
+            sizes.iter().map(move |&s| BwPoint {
+                delay_us: d,
+                size: s,
+                bidir,
+                ud,
+            })
+        })
+        .collect();
+    let results = parallel_map(points, |p| (p.delay_us, p.size, run_bw_point(&p, fidelity)));
+    for &d in &PAPER_DELAYS_US {
+        let label = if d == 0 {
+            "no-delay".to_string()
+        } else {
+            format!("{d}us-delay")
+        };
+        let mut s = Series::new(label);
+        for &(delay, size, bw) in &results {
+            if delay == d {
+                s.push(size as f64, bw);
+            }
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// Message sizes for the UD bandwidth sweep (bounded by the 2 KB MTU).
+pub const UD_SIZES: [u32; 7] = [32, 64, 128, 256, 512, 1024, 2048];
+/// Message sizes for the RC bandwidth sweep (to 4 MB, like Figure 5).
+pub const RC_SIZES: [u32; 10] = [
+    256,
+    1024,
+    4096,
+    16384,
+    65536,
+    262_144,
+    1 << 20,
+    2 << 20,
+    4 << 20,
+    8192,
+];
+
+/// Figure 4: verbs UD bandwidth (a) and bidirectional bandwidth (b) vs
+/// message size, one series per WAN delay.
+pub fn fig4_ud_bandwidth(bidir: bool, fidelity: Fidelity) -> Figure {
+    let (id, title) = if bidir {
+        ("fig4b", "Verbs UD bidirectional bandwidth")
+    } else {
+        ("fig4a", "Verbs UD bandwidth")
+    };
+    bw_figure(id, title, &UD_SIZES, true, bidir, fidelity)
+}
+
+/// Figure 5: verbs RC bandwidth (a) and bidirectional bandwidth (b) vs
+/// message size, one series per WAN delay.
+pub fn fig5_rc_bandwidth(bidir: bool, fidelity: Fidelity) -> Figure {
+    let mut sizes = RC_SIZES;
+    sizes.sort_unstable();
+    let (id, title) = if bidir {
+        ("fig5b", "Verbs RC bidirectional bandwidth")
+    } else {
+        ("fig5a", "Verbs RC bandwidth")
+    };
+    bw_figure(id, title, &sizes, false, bidir, fidelity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_rows() {
+        let t = table1();
+        let s = &t.series[0];
+        assert_eq!(s.y_at(1.0), Some(5.0));
+        assert_eq!(s.y_at(20.0), Some(100.0));
+        assert_eq!(s.y_at(200.0), Some(1000.0));
+        assert_eq!(s.y_at(2000.0), Some(10000.0));
+    }
+
+    #[test]
+    fn fig3_longbows_add_latency_and_rdma_wins() {
+        let f = fig3_latency(Fidelity::Quick);
+        let wan = f.series("SendRecv/RC").unwrap().y_at(4.0).unwrap();
+        let lan = f.series("BackToBack-SR/RC").unwrap().y_at(4.0).unwrap();
+        assert!(wan - lan > 3.5 && wan - lan < 8.0, "wan {wan} lan {lan}");
+        let write = f.series("RDMAWrite/RC").unwrap().y_at(4.0).unwrap();
+        assert!(write < wan, "RDMA write {write} should beat send/recv {wan}");
+    }
+
+    #[test]
+    fn fig4_ud_is_delay_invariant_at_peak() {
+        let f = fig4_ud_bandwidth(false, Fidelity::Quick);
+        let peak0 = f.series("no-delay").unwrap().y_at(2048.0).unwrap();
+        let peak10ms = f.series("10000us-delay").unwrap().y_at(2048.0).unwrap();
+        assert!((peak0 - 967.0).abs() < 15.0, "UD peak {peak0}");
+        assert!((peak0 - peak10ms).abs() < 5.0, "{peak0} vs {peak10ms}");
+    }
+
+    #[test]
+    fn fig5_rc_medium_collapse_large_recovery() {
+        let f = fig5_rc_bandwidth(false, Fidelity::Quick);
+        let no_delay = f.series("no-delay").unwrap();
+        assert!(no_delay.peak() > 940.0, "RC peak {}", no_delay.peak());
+        let d10ms = f.series("10000us-delay").unwrap();
+        let k64 = d10ms.y_at(65536.0).unwrap();
+        let m4 = d10ms.y_at((4 << 20) as f64).unwrap();
+        assert!(k64 < 100.0, "64K at 10ms should collapse: {k64}");
+        assert!(m4 > 500.0, "4M at 10ms should recover: {m4}");
+    }
+}

@@ -1,0 +1,225 @@
+//! Point-to-point link model: serialization at the port plus propagation,
+//! with optional IB-style credit-based flow control.
+//!
+//! InfiniBand links are lossless: a transmitter may only send while the
+//! receiver has advertised buffer credits, and credits return as the
+//! receiver drains packets onward. Over a long-haul link the credit loop
+//! spans the full round trip, so the receiver's buffer depth caps the
+//! in-flight data — the reason WAN range extenders like the Obsidian
+//! Longbow carry very deep buffers. Credits default to `None` (infinite
+//! buffering), which models such deep-buffered deployments; set
+//! [`LinkConfig::credit_packets`] to study shallow-buffer behaviour.
+
+use crate::packet::Packet;
+use serde::{Deserialize, Serialize};
+use simcore::{ActorId, Dur, Rate, SerialResource, Time};
+use std::collections::VecDeque;
+
+/// Link-level credit return (one freed receive buffer). Sent by the
+/// receiving entity back to the transmitter on credited links.
+pub struct CreditMsg;
+
+/// Static link parameters.
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Serialization rate of the link (data rate).
+    pub rate: Rate,
+    /// One-way propagation latency.
+    pub latency: Dur,
+    /// Receive-buffer credits per direction; `None` = effectively infinite
+    /// (deep buffers). With `Some(n)`, at most `n` packets may be unreturned
+    /// at any instant.
+    pub credit_packets: Option<usize>,
+}
+
+impl LinkConfig {
+    /// An intra-cluster InfiniBand DDR cable: 16 Gb/s data, 100 ns one way.
+    pub fn ddr_lan() -> Self {
+        LinkConfig {
+            rate: Rate::from_gbps(16),
+            latency: Dur::from_ns(100),
+            credit_packets: None,
+        }
+    }
+
+    /// An intra-cluster InfiniBand SDR cable: 8 Gb/s data, 100 ns one way.
+    pub fn sdr_lan() -> Self {
+        LinkConfig {
+            rate: Rate::from_gbps(8),
+            latency: Dur::from_ns(100),
+            credit_packets: None,
+        }
+    }
+
+    /// Limit the link to `n` receive-buffer credits per direction.
+    pub fn with_credits(mut self, n: usize) -> Self {
+        self.credit_packets = Some(n);
+        self
+    }
+}
+
+/// The egress half of a link attached to a port: owns the serialization
+/// resource, the credit pool, and the waiting queue.
+pub struct EgressPort {
+    /// Neighbor actor on the other end of the cable.
+    pub peer: ActorId,
+    cfg: LinkConfig,
+    tx: SerialResource,
+    credits: Option<usize>,
+    queue: VecDeque<(Time, Packet)>,
+}
+
+impl EgressPort {
+    /// New egress port towards `peer`.
+    pub fn new(peer: ActorId, cfg: LinkConfig) -> Self {
+        EgressPort {
+            peer,
+            cfg,
+            tx: SerialResource::new(cfg.rate),
+            credits: cfg.credit_packets,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Submit `pkt` for transmission beginning no earlier than `ready`.
+    /// Returns `Some((arrival, pkt))` if a credit was available (schedule
+    /// the delivery), or `None` if the packet was queued awaiting credits.
+    pub fn transmit(&mut self, ready: Time, pkt: Packet) -> Option<(Time, Packet)> {
+        match self.credits {
+            Some(0) => {
+                self.queue.push_back((ready, pkt));
+                None
+            }
+            Some(ref mut n) => {
+                *n -= 1;
+                Some(self.serialize(ready, pkt))
+            }
+            None => Some(self.serialize(ready, pkt)),
+        }
+    }
+
+    fn serialize(&mut self, ready: Time, pkt: Packet) -> (Time, Packet) {
+        let (_start, finish) = self.tx.reserve(ready, pkt.wire_bytes());
+        (finish + self.cfg.latency, pkt)
+    }
+
+    /// A credit returned from the peer at `now`; possibly releases a queued
+    /// packet (returns its scheduled arrival).
+    pub fn credit_returned(&mut self, now: Time) -> Option<(Time, Packet)> {
+        let n = self
+            .credits
+            .as_mut()
+            .expect("credit returned on an uncredited link");
+        if let Some((ready, pkt)) = self.queue.pop_front() {
+            // The freed buffer is consumed immediately by the queued packet.
+            Some(self.serialize(ready.max(now), pkt))
+        } else {
+            *n += 1;
+            None
+        }
+    }
+
+    /// True if this direction uses credit flow control (so the receiving
+    /// side must return credits).
+    pub fn credited(&self) -> bool {
+        self.cfg.credit_packets.is_some()
+    }
+
+    /// Packets currently waiting for credits.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Link configuration.
+    pub fn config(&self) -> LinkConfig {
+        self.cfg
+    }
+
+    /// Accumulated busy (transmitting) time — for utilization reporting.
+    pub fn busy_time(&self) -> Dur {
+        self.tx.busy_time()
+    }
+
+    /// Earliest instant the transmitter is idle.
+    pub fn next_free(&self) -> Time {
+        self.tx.next_free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Opcode;
+    use crate::qp::Qpn;
+    use crate::types::Lid;
+
+    fn pkt(payload: u32) -> Packet {
+        Packet {
+            dst_lid: Lid(2),
+            src_lid: Lid(1),
+            dst_qpn: Qpn(0),
+            src_qpn: Qpn(0),
+            opcode: Opcode::UdSend,
+            psn: 0,
+            payload,
+            msg_id: 0,
+            msg_len: payload,
+            offset: 0,
+            imm: 0,
+            data: None,
+        }
+    }
+
+    #[test]
+    fn back_to_back_serialization() {
+        let cfg = LinkConfig {
+            rate: Rate::from_gbps(8), // 1 ns/byte
+            latency: Dur::from_us(1),
+            credit_packets: None,
+        };
+        let mut port = EgressPort::new(0, cfg);
+        let (a1, _) = port.transmit(Time::ZERO, pkt(930)).unwrap();
+        assert_eq!(a1, Time::from_ns(1000) + Dur::from_us(1));
+        // Second packet queued behind the first on the wire.
+        let (a2, _) = port.transmit(Time::ZERO, pkt(930)).unwrap();
+        assert_eq!(a2, Time::from_ns(2000) + Dur::from_us(1));
+        // After idle time, starts immediately.
+        let (a3, _) = port.transmit(Time::from_us(10), pkt(430)).unwrap();
+        assert_eq!(a3, Time::from_us(10) + Dur::from_ns(500) + Dur::from_us(1));
+        assert_eq!(port.busy_time(), Dur::from_ns(2500));
+    }
+
+    #[test]
+    fn credits_gate_transmission() {
+        let cfg = LinkConfig::sdr_lan().with_credits(2);
+        let mut port = EgressPort::new(0, cfg);
+        assert!(port.transmit(Time::ZERO, pkt(100)).is_some());
+        assert!(port.transmit(Time::ZERO, pkt(100)).is_some());
+        // Third packet has no credit: queued.
+        assert!(port.transmit(Time::ZERO, pkt(100)).is_none());
+        assert_eq!(port.queued(), 1);
+        // A returned credit releases it.
+        let released = port.credit_returned(Time::from_us(5));
+        assert!(released.is_some());
+        assert_eq!(port.queued(), 0);
+        // Another return with nothing queued restores the pool.
+        assert!(port.credit_returned(Time::from_us(6)).is_none());
+        assert!(port.transmit(Time::from_us(7), pkt(100)).is_some());
+    }
+
+    #[test]
+    fn uncredited_links_never_queue() {
+        let mut port = EgressPort::new(0, LinkConfig::ddr_lan());
+        for _ in 0..100 {
+            assert!(port.transmit(Time::ZERO, pkt(64)).is_some());
+        }
+        assert_eq!(port.queued(), 0);
+        assert!(!port.credited());
+    }
+
+    #[test]
+    fn lan_presets() {
+        assert_eq!(LinkConfig::ddr_lan().rate.ps_per_byte(), 500);
+        assert_eq!(LinkConfig::sdr_lan().rate.ps_per_byte(), 1000);
+    }
+}

@@ -1,0 +1,41 @@
+//! Upper-layer-protocol hook: how MPI, IPoIB, NFS, and benchmark drivers sit
+//! on an HCA.
+
+use crate::hca::HcaCore;
+use crate::verbs::Completion;
+use simcore::{ActorId, Ctx};
+use std::any::Any;
+
+/// An upper-layer protocol running on one HCA (one per node).
+///
+/// The ULP is invoked by the [`crate::hca::HcaActor`] with mutable access to
+/// the HCA core so it can post work requests in response to completions —
+/// mirroring how real ULPs drive verbs from completion handlers.
+pub trait Ulp: Any {
+    /// Called once at simulation start (time zero).
+    fn start(&mut self, _hca: &mut HcaCore, _ctx: &mut Ctx<'_>) {}
+
+    /// A completion-queue entry is ready.
+    fn on_completion(&mut self, hca: &mut HcaCore, ctx: &mut Ctx<'_>, c: Completion);
+
+    /// A ULP-armed timer fired (tokens below [`crate::hca::START_TOKEN`]).
+    fn on_timer(&mut self, _hca: &mut HcaCore, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// A non-fabric message arrived from another actor (driver coordination,
+    /// software-level channels between node ULPs, ...).
+    fn on_user(
+        &mut self,
+        _hca: &mut HcaCore,
+        _ctx: &mut Ctx<'_>,
+        _from: ActorId,
+        _msg: Box<dyn Any>,
+    ) {
+    }
+}
+
+/// A ULP that ignores everything — for pure-fabric tests and passive nodes.
+pub struct NullUlp;
+
+impl Ulp for NullUlp {
+    fn on_completion(&mut self, _hca: &mut HcaCore, _ctx: &mut Ctx<'_>, _c: Completion) {}
+}

@@ -1,0 +1,25 @@
+//! # ipoib — IP-over-InfiniBand network device and TCP carrier
+//!
+//! Models the IPoIB driver the paper evaluates in Section 3.3: IP packets are
+//! encapsulated in IB messages on either the **UD** transport (datagram mode,
+//! 2 KB MTU — more packets, more per-packet host work, but no transport-level
+//! windowing) or the **RC** transport (connected mode, MTU up to 64 KB —
+//! fewer, larger packets and lower per-byte overhead, but subject to the RC
+//! ACK window across the WAN).
+//!
+//! The TCP stack (`tcpstack`) rides on top; host protocol-processing cost is
+//! charged per packet and per byte on dedicated send/receive CPU resources,
+//! which is what caps IPoIB throughput well below the verbs-level peaks, as
+//! the paper observes.
+//!
+//! [`IpoibNode`] is a complete iperf-style streaming endpoint ULP used by the
+//! Figure 6/7 experiments (single stream with varying windows/MTUs, and
+//! parallel streams).
+
+pub mod node;
+pub mod port;
+pub mod wire;
+
+pub use node::{IpoibConfig, IpoibMode, IpoibNode};
+pub use port::{IpoibPort, StreamDelivery, TOKEN_IPOIB_RX};
+pub use wire::SegmentHeader;

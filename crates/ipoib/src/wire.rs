@@ -1,0 +1,70 @@
+//! On-the-wire header for TCP segments carried in IB messages.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tcpstack::TcpSegment;
+
+/// Metadata riding with each encapsulated IP packet: which TCP stream it
+/// belongs to plus the segment's sequence/ACK fields. (This is control
+/// information the simulation needs; the wire cost of real TCP/IP headers is
+/// already accounted for in the segment's wire length.)
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// Index of the TCP stream on this node pair.
+    pub stream: u32,
+    /// The TCP segment fields.
+    pub segment: TcpSegment,
+}
+
+impl SegmentHeader {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 24;
+
+    /// Serialize into a `Bytes` suitable for [`ibfabric::SendWr::with_meta`].
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::LEN);
+        b.put_u32(self.stream);
+        b.put_u64(self.segment.seq);
+        b.put_u64(self.segment.ack);
+        b.put_u32(self.segment.len);
+        b.freeze()
+    }
+
+    /// Deserialize; panics on malformed input (simulation invariant).
+    pub fn decode(mut buf: &[u8]) -> Self {
+        assert_eq!(buf.len(), Self::LEN, "bad segment header length");
+        let stream = buf.get_u32();
+        let seq = buf.get_u64();
+        let ack = buf.get_u64();
+        let len = buf.get_u32();
+        SegmentHeader {
+            stream,
+            segment: TcpSegment { seq, len, ack },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = SegmentHeader {
+            stream: 7,
+            segment: TcpSegment {
+                seq: 123_456_789_012,
+                len: 1996,
+                ack: 987_654_321,
+            },
+        };
+        let enc = h.encode();
+        assert_eq!(enc.len(), SegmentHeader::LEN);
+        assert_eq!(SegmentHeader::decode(&enc), h);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad segment header")]
+    fn rejects_short_input() {
+        SegmentHeader::decode(&[0u8; 10]);
+    }
+}

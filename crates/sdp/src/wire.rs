@@ -1,0 +1,94 @@
+//! SDP wire messages (BSDH-framed in real SDP; metadata here).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Wire overhead of an SDP data message (the BSDH header).
+pub const BSDH_BYTES: u32 = 16;
+/// Wire size of a standalone control message (credit update / SrcAvail /
+/// RdmaRdCompl).
+pub const SDP_CTRL_BYTES: u32 = 48;
+
+/// SDP protocol messages.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SdpWire {
+    /// BCopy data: `len` payload bytes in one private buffer.
+    Data {
+        /// Payload length (≤ the negotiated buffer size).
+        len: u32,
+    },
+    /// Receiver returns `n` private-buffer credits.
+    CreditUpdate {
+        /// Credits returned.
+        n: u32,
+    },
+    /// ZCopy: the sender advertises `len` bytes for the receiver to pull.
+    SrcAvail {
+        /// Advertisement id.
+        id: u32,
+        /// Bytes available.
+        len: u32,
+    },
+    /// ZCopy: the receiver finished the RDMA read of advertisement `id`.
+    RdmaRdCompl {
+        /// Advertisement id.
+        id: u32,
+    },
+}
+
+impl SdpWire {
+    /// Serialize for [`ibfabric::SendWr::with_meta`].
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(9);
+        match self {
+            SdpWire::Data { len } => {
+                b.put_u8(0);
+                b.put_u32(*len);
+            }
+            SdpWire::CreditUpdate { n } => {
+                b.put_u8(1);
+                b.put_u32(*n);
+            }
+            SdpWire::SrcAvail { id, len } => {
+                b.put_u8(2);
+                b.put_u32(*id);
+                b.put_u32(*len);
+            }
+            SdpWire::RdmaRdCompl { id } => {
+                b.put_u8(3);
+                b.put_u32(*id);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Deserialize; panics on malformed input (simulation invariant).
+    pub fn decode(mut buf: &[u8]) -> Self {
+        match buf.get_u8() {
+            0 => SdpWire::Data { len: buf.get_u32() },
+            1 => SdpWire::CreditUpdate { n: buf.get_u32() },
+            2 => SdpWire::SrcAvail {
+                id: buf.get_u32(),
+                len: buf.get_u32(),
+            },
+            3 => SdpWire::RdmaRdCompl { id: buf.get_u32() },
+            other => panic!("unknown SDP message kind {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for w in [
+            SdpWire::Data { len: 8192 },
+            SdpWire::CreditUpdate { n: 8 },
+            SdpWire::SrcAvail { id: 3, len: 1 << 20 },
+            SdpWire::RdmaRdCompl { id: 3 },
+        ] {
+            assert_eq!(SdpWire::decode(&w.encode()), w);
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! The discrete-event engine and actor model.
+//!
+//! Network entities (HCAs, switches, WAN routers, benchmark drivers) are
+//! [`Actor`]s owned by the [`Engine`]. Actors communicate exclusively through
+//! scheduled message deliveries and timers; the engine pops events in strict
+//! `(time, sequence)` order, so simulations are fully deterministic.
+
+use crate::time::{Dur, Time};
+use crate::trace::{Trace, TraceEvent};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Index of an actor within an [`Engine`].
+pub type ActorId = usize;
+
+/// A simulation entity driven by messages and timers.
+///
+/// Implementations must be `'static` (the `Any` supertrait) so the engine can
+/// hand back concrete types via [`Engine::actor_mut`] during setup and result
+/// collection.
+pub trait Actor: Any {
+    /// Deliver a message sent by `from`.
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Box<dyn Any>);
+
+    /// A timer armed via [`Ctx::timer`] has fired. `token` is the value the
+    /// actor supplied when arming it.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+}
+
+enum EventKind {
+    Message {
+        from: ActorId,
+        to: ActorId,
+        msg: Box<dyn Any>,
+    },
+    Timer {
+        actor: ActorId,
+        token: u64,
+    },
+}
+
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+enum Pending {
+    Message {
+        at: Time,
+        from: ActorId,
+        to: ActorId,
+        msg: Box<dyn Any>,
+    },
+    Timer {
+        at: Time,
+        actor: ActorId,
+        token: u64,
+    },
+}
+
+/// Handle given to an actor while it processes an event.
+///
+/// All side effects an actor can have on the simulation flow through this
+/// context: sending messages, arming timers, and requesting a halt. Effects
+/// are buffered and applied by the engine after the handler returns, which
+/// keeps dispatch free of re-entrancy.
+pub struct Ctx<'a> {
+    now: Time,
+    self_id: ActorId,
+    pending: &'a mut Vec<Pending>,
+    rng: &'a mut SmallRng,
+    stop: &'a mut bool,
+}
+
+impl Ctx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The id of the actor handling this event.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Schedule `msg` for delivery to `to` after `delay`.
+    pub fn send(&mut self, to: ActorId, msg: Box<dyn Any>, delay: Dur) {
+        self.send_at(to, msg, self.now + delay);
+    }
+
+    /// Schedule `msg` for delivery to `to` at absolute time `at`.
+    ///
+    /// `at` must not be in the past; scheduling "now" is allowed and the
+    /// message is delivered after all effects of the current event settle.
+    pub fn send_at(&mut self, to: ActorId, msg: Box<dyn Any>, at: Time) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        self.pending.push(Pending::Message {
+            at,
+            from: self.self_id,
+            to,
+            msg,
+        });
+    }
+
+    /// Arm a timer on the current actor that fires after `delay` with `token`.
+    pub fn timer(&mut self, delay: Dur, token: u64) {
+        self.timer_at(self.now + delay, token);
+    }
+
+    /// Arm a timer on the current actor at absolute time `at` with `token`.
+    pub fn timer_at(&mut self, at: Time, token: u64) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        self.pending.push(Pending::Timer {
+            at,
+            actor: self.self_id,
+            token,
+        });
+    }
+
+    /// Deterministic random generator shared by the whole simulation.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Ask the engine to stop after the current event is fully processed.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// The discrete-event engine: owns all actors, the event queue, virtual time,
+/// and the seeded random generator.
+pub struct Engine {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    actors: Vec<Option<Box<dyn Actor>>>,
+    pending: Vec<Pending>,
+    rng: SmallRng,
+    stop: bool,
+    events_processed: u64,
+    /// Safety valve against runaway protocol loops in tests.
+    event_limit: u64,
+    trace: Option<Trace>,
+}
+
+impl Engine {
+    /// Create an engine with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            actors: Vec::new(),
+            pending: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            stop: false,
+            events_processed: 0,
+            event_limit: u64::MAX,
+            trace: None,
+        }
+    }
+
+    /// Cap the number of events processed (a safety valve for tests; the
+    /// engine stops once the cap is reached).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Record every dispatched event into a bounded [`Trace`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Mutable trace access (to name actors).
+    pub fn trace_mut(&mut self) -> Option<&mut Trace> {
+        self.trace.as_mut()
+    }
+
+    /// Register an actor and return its id.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor>) -> ActorId {
+        self.actors.push(Some(actor));
+        self.actors.len() - 1
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Mutable access to a concrete actor, for setup and result collection.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range, the actor is currently being
+    /// dispatched, or the concrete type does not match.
+    pub fn actor_mut<T: Actor>(&mut self, id: ActorId) -> &mut T {
+        let slot = self.actors[id]
+            .as_mut()
+            .expect("actor is currently dispatched");
+        let any: &mut dyn Any = &mut **slot;
+        any.downcast_mut::<T>().expect("actor type mismatch")
+    }
+
+    /// Shared access to a concrete actor.
+    ///
+    /// # Panics
+    /// Same conditions as [`Engine::actor_mut`].
+    pub fn actor<T: Actor>(&self, id: ActorId) -> &T {
+        let slot = self.actors[id]
+            .as_ref()
+            .expect("actor is currently dispatched");
+        let any: &dyn Any = &**slot;
+        any.downcast_ref::<T>().expect("actor type mismatch")
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedule a message delivery from outside any actor (driver code).
+    pub fn schedule_message(&mut self, at: Time, from: ActorId, to: ActorId, msg: Box<dyn Any>) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            kind: EventKind::Message { from, to, msg },
+        }));
+    }
+
+    /// Schedule a timer on `actor` from outside any actor (driver code).
+    pub fn schedule_timer(&mut self, at: Time, actor: ActorId, token: u64) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            kind: EventKind::Timer { actor, token },
+        }));
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty or a
+    /// stop was requested.
+    pub fn step(&mut self) -> bool {
+        if self.stop || self.events_processed >= self.event_limit {
+            return false;
+        }
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.events_processed += 1;
+
+        let actor_id = match &ev.kind {
+            EventKind::Message { to, .. } => *to,
+            EventKind::Timer { actor, .. } => *actor,
+        };
+        if let Some(trace) = self.trace.as_mut() {
+            let te = match &ev.kind {
+                EventKind::Message { from, to, .. } => TraceEvent::Message {
+                    from: *from,
+                    to: *to,
+                },
+                EventKind::Timer { actor, token } => TraceEvent::Timer {
+                    actor: *actor,
+                    token: *token,
+                },
+            };
+            trace.record(ev.at, te);
+        }
+        let mut actor = self.actors[actor_id]
+            .take()
+            .expect("re-entrant dispatch on actor");
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: actor_id,
+                pending: &mut self.pending,
+                rng: &mut self.rng,
+                stop: &mut self.stop,
+            };
+            match ev.kind {
+                EventKind::Message { from, msg, .. } => actor.on_message(&mut ctx, from, msg),
+                EventKind::Timer { token, .. } => actor.on_timer(&mut ctx, token),
+            }
+        }
+        self.actors[actor_id] = Some(actor);
+        self.flush_pending();
+        true
+    }
+
+    fn flush_pending(&mut self) {
+        // Drain into the queue, assigning sequence numbers in emission order
+        // so effects of one handler are processed in the order it issued them.
+        let pending = std::mem::take(&mut self.pending);
+        for p in pending {
+            match p {
+                Pending::Message { at, from, to, msg } => {
+                    self.schedule_message(at, from, to, msg)
+                }
+                Pending::Timer { at, actor, token } => self.schedule_timer(at, actor, token),
+            }
+        }
+    }
+
+    /// Run until the queue drains or a stop is requested; returns the final
+    /// virtual time.
+    pub fn run(&mut self) -> Time {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until virtual time would exceed `deadline` (events at exactly
+    /// `deadline` are processed). Returns the final virtual time.
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.at <= deadline => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.now
+    }
+
+    /// True once a stop has been requested via [`Ctx::stop`].
+    pub fn stopped(&self) -> bool {
+        self.stop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every message back to the sender after a fixed delay, counting
+    /// deliveries.
+    struct Echo {
+        delay: Dur,
+        count: u32,
+        limit: u32,
+        fired_timers: Vec<u64>,
+    }
+
+    impl Echo {
+        fn new(delay: Dur, limit: u32) -> Self {
+            Echo {
+                delay,
+                count: 0,
+                limit,
+                fired_timers: Vec::new(),
+            }
+        }
+    }
+
+    impl Actor for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Box<dyn Any>) {
+            self.count += 1;
+            if self.count < self.limit {
+                ctx.send(from, msg, self.delay);
+            } else {
+                ctx.stop();
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+            self.fired_timers.push(token);
+        }
+    }
+
+    #[test]
+    fn ping_pong_advances_time() {
+        let mut e = Engine::new(1);
+        let a = e.add_actor(Box::new(Echo::new(Dur::from_us(10), 100)));
+        let b = e.add_actor(Box::new(Echo::new(Dur::from_us(10), 3)));
+        e.schedule_message(Time::ZERO, a, b, Box::new(0u8));
+        let end = e.run();
+        // b receives at 0, a at 10, b at 20 -> b stops (count==3? b received 2)
+        // Sequence: b@0 (b.count=1), a@10 (a.count=1), b@20 (b.count=2),
+        // a@30, b@40 (count=3, stop).
+        assert_eq!(end, Time::from_us(40));
+        assert_eq!(e.actor::<Echo>(b).count, 3);
+        assert_eq!(e.actor::<Echo>(a).count, 2);
+    }
+
+    #[test]
+    fn fifo_tie_break_is_schedule_order() {
+        struct Recorder {
+            seen: Vec<u32>,
+        }
+        impl Actor for Recorder {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: ActorId, msg: Box<dyn Any>) {
+                self.seen.push(*msg.downcast::<u32>().unwrap());
+            }
+        }
+        let mut e = Engine::new(1);
+        let r = e.add_actor(Box::new(Recorder { seen: vec![] }));
+        for i in 0..10u32 {
+            e.schedule_message(Time::from_us(5), r, r, Box::new(i));
+        }
+        e.run();
+        assert_eq!(e.actor::<Recorder>(r).seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timers_fire_with_tokens() {
+        struct T;
+        impl Actor for T {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, _msg: Box<dyn Any>) {
+                ctx.timer(Dur::from_us(1), 7);
+                ctx.timer(Dur::from_us(2), 9);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                if token == 9 {
+                    ctx.stop();
+                }
+            }
+        }
+        let mut e = Engine::new(1);
+        let t = e.add_actor(Box::new(T));
+        e.schedule_message(Time::ZERO, t, t, Box::new(()));
+        let end = e.run();
+        assert_eq!(end, Time::from_us(2));
+        assert!(e.stopped());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = Engine::new(1);
+        let a = e.add_actor(Box::new(Echo::new(Dur::from_us(10), u32::MAX)));
+        let b = e.add_actor(Box::new(Echo::new(Dur::from_us(10), u32::MAX)));
+        e.schedule_message(Time::ZERO, a, b, Box::new(0u8));
+        let t = e.run_until(Time::from_us(35));
+        assert!(t <= Time::from_us(35));
+        // Remaining events still queued; continuing works.
+        let t2 = e.run_until(Time::from_us(55));
+        assert!(t2 > t);
+    }
+
+    #[test]
+    fn event_limit_halts_runaway() {
+        let mut e = Engine::new(1);
+        let a = e.add_actor(Box::new(Echo::new(Dur::ZERO, u32::MAX)));
+        let b = e.add_actor(Box::new(Echo::new(Dur::ZERO, u32::MAX)));
+        e.schedule_message(Time::ZERO, a, b, Box::new(0u8));
+        e.set_event_limit(1000);
+        e.run();
+        assert_eq!(e.events_processed(), 1000);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn trace() -> (Time, u64) {
+            let mut e = Engine::new(99);
+            let a = e.add_actor(Box::new(Echo::new(Dur::from_ns(37), 500)));
+            let b = e.add_actor(Box::new(Echo::new(Dur::from_ns(53), 500)));
+            e.schedule_message(Time::ZERO, a, b, Box::new(0u8));
+            let end = e.run();
+            (end, e.events_processed())
+        }
+        assert_eq!(trace(), trace());
+    }
+
+    #[test]
+    fn trace_records_dispatches() {
+        let mut e = Engine::new(1);
+        let a = e.add_actor(Box::new(Echo::new(Dur::from_us(10), 3)));
+        let b = e.add_actor(Box::new(Echo::new(Dur::from_us(10), 3)));
+        e.enable_trace(16);
+        e.trace_mut().unwrap().name_actor(a, "ping");
+        e.schedule_message(Time::ZERO, a, b, Box::new(0u8));
+        e.run();
+        let trace = e.trace().unwrap();
+        assert_eq!(trace.records().len() as u64, e.events_processed());
+        assert!(trace.dump().contains("ping"));
+    }
+
+    #[test]
+    fn downcast_accessors() {
+        let mut e = Engine::new(1);
+        let a = e.add_actor(Box::new(Echo::new(Dur::ZERO, 1)));
+        e.actor_mut::<Echo>(a).count = 41;
+        assert_eq!(e.actor::<Echo>(a).count, 41);
+    }
+
+    #[test]
+    #[should_panic(expected = "actor type mismatch")]
+    fn downcast_wrong_type_panics() {
+        struct Other;
+        impl Actor for Other {
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: ActorId, _: Box<dyn Any>) {}
+        }
+        let mut e = Engine::new(1);
+        let a = e.add_actor(Box::new(Other));
+        let _ = e.actor::<Echo>(a);
+    }
+}

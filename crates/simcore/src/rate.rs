@@ -1,0 +1,180 @@
+//! Serialization-rate modeling for links, host CPUs, and other serial
+//! resources.
+//!
+//! Rates are stored as integer **picoseconds per byte** so transmission-time
+//! arithmetic is exact and platform-independent (no floating point in the
+//! event path). 8 Gb/s — the InfiniBand SDR data rate the Obsidian Longbows
+//! carry across the WAN — is exactly 1000 ps/byte.
+
+use crate::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+
+/// A data rate, stored as picoseconds per byte.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Rate {
+    ps_per_byte: u64,
+}
+
+impl Rate {
+    /// An effectively infinite rate (zero serialization time).
+    pub const INFINITE: Rate = Rate { ps_per_byte: 0 };
+
+    /// From gigabits per second of *data* (e.g. IB SDR carries 8 Gb/s data).
+    pub fn from_gbps(gbps: u64) -> Self {
+        assert!(gbps > 0, "rate must be positive");
+        // ps/byte = 8 bits/byte / (gbps * 1e9 bits/s) * 1e12 ps/s = 8000/gbps
+        Rate {
+            ps_per_byte: 8000 / gbps,
+        }
+    }
+
+    /// From megabytes (10^6 bytes) per second.
+    pub fn from_mbytes_per_sec(mb: u64) -> Self {
+        assert!(mb > 0, "rate must be positive");
+        Rate {
+            ps_per_byte: 1_000_000 / mb,
+        }
+    }
+
+    /// From raw picoseconds per byte.
+    pub const fn from_ps_per_byte(ps: u64) -> Self {
+        Rate { ps_per_byte: ps }
+    }
+
+    /// Picoseconds to serialize one byte.
+    pub const fn ps_per_byte(self) -> u64 {
+        self.ps_per_byte
+    }
+
+    /// Effective rate in MB/s (10^6 bytes), for reporting.
+    pub fn mbytes_per_sec(self) -> f64 {
+        if self.ps_per_byte == 0 {
+            f64::INFINITY
+        } else {
+            1_000_000.0 / self.ps_per_byte as f64
+        }
+    }
+
+    /// Time to serialize `bytes` at this rate (rounds up to whole ns).
+    pub fn tx_time(self, bytes: u64) -> Dur {
+        Dur::from_ns((bytes * self.ps_per_byte).div_ceil(1000))
+    }
+}
+
+/// A serial resource (a link direction, a NIC engine, a host CPU doing
+/// per-packet work): jobs are served one at a time in arrival order.
+///
+/// `reserve` implements the classic store-and-forward bookkeeping: a job
+/// arriving at `now` begins service at `max(now, next_free)` and occupies the
+/// resource for its service time.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SerialResource {
+    rate: Rate,
+    next_free: Time,
+    busy: Dur,
+}
+
+impl SerialResource {
+    /// A resource serving at `rate`.
+    pub fn new(rate: Rate) -> Self {
+        SerialResource {
+            rate,
+            next_free: Time::ZERO,
+            busy: Dur::ZERO,
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// Occupy the resource for `bytes` of work arriving at `now`; returns the
+    /// (start, finish) times of service.
+    pub fn reserve(&mut self, now: Time, bytes: u64) -> (Time, Time) {
+        let start = now.max(self.next_free);
+        let service = self.rate.tx_time(bytes);
+        let finish = start + service;
+        self.next_free = finish;
+        self.busy += service;
+        (start, finish)
+    }
+
+    /// Occupy the resource for a fixed duration of work (e.g. fixed per-packet
+    /// CPU cost) arriving at `now`.
+    pub fn reserve_dur(&mut self, now: Time, work: Dur) -> (Time, Time) {
+        let start = now.max(self.next_free);
+        let finish = start + work;
+        self.next_free = finish;
+        self.busy += work;
+        (start, finish)
+    }
+
+    /// Earliest time the resource is idle.
+    pub fn next_free(&self) -> Time {
+        self.next_free
+    }
+
+    /// Total busy time accumulated (utilization numerator).
+    pub fn busy_time(&self) -> Dur {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdr_is_1000_ps_per_byte() {
+        assert_eq!(Rate::from_gbps(8).ps_per_byte(), 1000);
+        assert_eq!(Rate::from_gbps(16).ps_per_byte(), 500);
+    }
+
+    #[test]
+    fn tx_time_rounds_up() {
+        let r = Rate::from_gbps(8); // 1 ns/byte
+        assert_eq!(r.tx_time(2048), Dur::from_ns(2048));
+        let r2 = Rate::from_ps_per_byte(1500);
+        assert_eq!(r2.tx_time(1), Dur::from_ns(2)); // 1.5ns rounds up
+        assert_eq!(r2.tx_time(2), Dur::from_ns(3));
+    }
+
+    #[test]
+    fn infinite_rate_is_instant() {
+        assert_eq!(Rate::INFINITE.tx_time(1 << 30), Dur::ZERO);
+        assert!(Rate::INFINITE.mbytes_per_sec().is_infinite());
+    }
+
+    #[test]
+    fn mbytes_per_sec_reporting() {
+        assert!((Rate::from_gbps(8).mbytes_per_sec() - 1000.0).abs() < 1e-9);
+        assert!((Rate::from_mbytes_per_sec(500).mbytes_per_sec() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_resource_queues_back_to_back() {
+        let mut res = SerialResource::new(Rate::from_gbps(8));
+        let (s1, f1) = res.reserve(Time::ZERO, 1000);
+        assert_eq!(s1, Time::ZERO);
+        assert_eq!(f1, Time::from_ns(1000));
+        // Second job arrives while the first is in service: queued.
+        let (s2, f2) = res.reserve(Time::from_ns(100), 1000);
+        assert_eq!(s2, Time::from_ns(1000));
+        assert_eq!(f2, Time::from_ns(2000));
+        // Third arrives after idle gap: starts immediately.
+        let (s3, _f3) = res.reserve(Time::from_ns(5000), 1000);
+        assert_eq!(s3, Time::from_ns(5000));
+        assert_eq!(res.busy_time(), Dur::from_ns(3000));
+    }
+
+    #[test]
+    fn reserve_dur_fixed_work() {
+        let mut res = SerialResource::new(Rate::INFINITE);
+        let (_, f1) = res.reserve_dur(Time::ZERO, Dur::from_us(3));
+        assert_eq!(f1, Time::from_us(3));
+        let (s2, f2) = res.reserve_dur(Time::from_us(1), Dur::from_us(2));
+        assert_eq!(s2, Time::from_us(3));
+        assert_eq!(f2, Time::from_us(5));
+    }
+}

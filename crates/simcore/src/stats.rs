@@ -1,0 +1,376 @@
+//! Statistics helpers: throughput meters, latency histograms, and online
+//! moment accumulation, used by every benchmark harness.
+
+use crate::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+
+/// Counts bytes and messages over a measured interval and reports throughput
+/// in the units the paper uses (MillionBytes/sec, i.e. 10^6 bytes).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Throughput {
+    bytes: u64,
+    messages: u64,
+    started: Option<Time>,
+    ended: Option<Time>,
+}
+
+impl Throughput {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark the start of the measured interval (first call wins).
+    pub fn start(&mut self, now: Time) {
+        if self.started.is_none() {
+            self.started = Some(now);
+        }
+    }
+
+    /// Record a completed transfer of `bytes` at time `now`.
+    pub fn record(&mut self, now: Time, bytes: u64) {
+        self.bytes += bytes;
+        self.messages += 1;
+        self.ended = Some(now);
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total messages recorded.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Elapsed measured interval.
+    pub fn elapsed(&self) -> Option<Dur> {
+        Some(self.ended?.since(self.started?))
+    }
+
+    /// Throughput in MillionBytes/sec (the paper's bandwidth unit).
+    pub fn mbytes_per_sec(&self) -> f64 {
+        match self.elapsed() {
+            Some(d) if !d.is_zero() => self.bytes as f64 / d.as_secs_f64() / 1e6,
+            _ => 0.0,
+        }
+    }
+
+    /// Message rate in million messages/sec (the paper's Fig. 10 unit).
+    pub fn mmsgs_per_sec(&self) -> f64 {
+        match self.elapsed() {
+            Some(d) if !d.is_zero() => self.messages as f64 / d.as_secs_f64() / 1e6,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Log2-bucketed histogram of durations (latencies).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    /// buckets[i] counts samples with ns in [2^i, 2^(i+1)).
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Dur) {
+        let ns = d.as_ns();
+        let idx = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Dur {
+        if self.count == 0 {
+            Dur::ZERO
+        } else {
+            Dur::from_ns((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Smallest sample (zero if empty).
+    pub fn min(&self) -> Dur {
+        if self.count == 0 {
+            Dur::ZERO
+        } else {
+            Dur::from_ns(self.min_ns)
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Dur {
+        Dur::from_ns(self.max_ns)
+    }
+
+    /// Approximate quantile (bucket upper bound), `q` in [0, 1].
+    pub fn quantile(&self, q: f64) -> Dur {
+        if self.count == 0 {
+            return Dur::ZERO;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Dur::from_ns(1u64 << (i + 1).min(63));
+            }
+        }
+        Dur::from_ns(self.max_ns)
+    }
+}
+
+/// Byte counts bucketed by virtual time: bandwidth-over-time sampling
+/// (e.g. watching a TCP slow-start ramp).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimeSeries {
+    bucket: Dur,
+    buckets: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// A series with the given bucket width.
+    pub fn new(bucket: Dur) -> Self {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        TimeSeries {
+            bucket,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Record `bytes` arriving at `now`.
+    pub fn record(&mut self, now: Time, bytes: u64) {
+        let idx = (now.as_ns() / self.bucket.as_ns()) as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += bytes;
+    }
+
+    /// Bucket width.
+    pub fn bucket(&self) -> Dur {
+        self.bucket
+    }
+
+    /// `(bucket start time, MB/s within the bucket)` for every bucket.
+    pub fn points(&self) -> Vec<(Time, f64)> {
+        let secs = self.bucket.as_secs_f64();
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                (
+                    Time::from_ns(i as u64 * self.bucket.as_ns()),
+                    b as f64 / secs / 1e6,
+                )
+            })
+            .collect()
+    }
+
+    /// Total bytes recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// Welford online mean/variance accumulator for scalar samples.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    /// Running mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Population variance (0 if fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_paper_units() {
+        let mut t = Throughput::new();
+        t.start(Time::ZERO);
+        // 1,000,000 bytes over 1 ms => 1000 MB/s in the paper's units.
+        t.record(Time::from_ms(1), 1_000_000);
+        assert!((t.mbytes_per_sec() - 1000.0).abs() < 1e-9);
+        assert_eq!(t.messages(), 1);
+        assert!((t.mmsgs_per_sec() - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_empty_is_zero() {
+        let t = Throughput::new();
+        assert_eq!(t.mbytes_per_sec(), 0.0);
+        assert_eq!(t.elapsed(), None);
+    }
+
+    #[test]
+    fn throughput_start_first_call_wins() {
+        let mut t = Throughput::new();
+        t.start(Time::from_us(10));
+        t.start(Time::from_us(99));
+        t.record(Time::from_us(20), 100);
+        assert_eq!(t.elapsed(), Some(Dur::from_us(10)));
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        for us in [1u64, 2, 4, 8, 100] {
+            h.record(Dur::from_us(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), Dur::from_us(23));
+        assert_eq!(h.min(), Dur::from_us(1));
+        assert_eq!(h.max(), Dur::from_us(100));
+        assert!(h.quantile(0.5) >= Dur::from_us(2));
+        assert!(h.quantile(1.0) >= Dur::from_us(100));
+    }
+
+    #[test]
+    fn histogram_zero_sample() {
+        let mut h = Histogram::new();
+        h.record(Dur::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Dur::ZERO);
+    }
+
+    #[test]
+    fn time_series_buckets_bandwidth() {
+        let mut ts = TimeSeries::new(Dur::from_ms(1));
+        ts.record(Time::from_us(100), 1000);
+        ts.record(Time::from_us(900), 2000);
+        ts.record(Time::from_us(1500), 500);
+        let pts = ts.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].0, Time::ZERO);
+        assert!((pts[0].1 - 3.0).abs() < 1e-9); // 3000 B/ms = 3 MB/s
+        assert!((pts[1].1 - 0.5).abs() < 1e-9);
+        assert_eq!(ts.total(), 3500);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn time_series_rejects_zero_bucket() {
+        TimeSeries::new(Dur::ZERO);
+    }
+
+    #[test]
+    fn online_stats_moments() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Virtual time and durations.
+//!
+//! The engine counts nanoseconds from simulation start in a `u64`, which
+//! covers ~584 years of virtual time — far beyond any experiment here.
+//! A separate [`Dur`] type keeps "point in time" and "span of time" from
+//! being mixed up in protocol arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Dur(u64);
+
+impl Time {
+    /// Simulation start.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant (used as "never" for timers).
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns)
+    }
+    /// Construct from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms * 1_000_000)
+    }
+    /// Construct from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Time(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since start.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+    /// Microseconds since start, as floating point.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+    /// Seconds since start, as floating point.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Elapsed span since `earlier`; saturates to zero if `earlier` is later.
+    pub fn since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+    /// The earlier of two instants.
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Dur {
+    /// Zero-length span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Dur(ns)
+    }
+    /// Construct from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Dur(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Dur(ms * 1_000_000)
+    }
+    /// Construct from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Dur(s * 1_000_000_000)
+    }
+    /// Construct from floating-point microseconds (rounds to nearest ns).
+    pub fn from_us_f64(us: f64) -> Self {
+        debug_assert!(us >= 0.0, "negative duration");
+        Dur((us * 1e3).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+    /// Microseconds, as floating point.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+    /// Seconds, as floating point.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// True if this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+    /// The smaller of two spans.
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub<Dur> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Dur) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+impl Sub<Time> for Time {
+    type Output = Dur;
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 -= rhs.0;
+    }
+}
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", fmt_ns(self.0))
+    }
+}
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{}ns", ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(Time::from_us(5).as_ns(), 5_000);
+        assert_eq!(Time::from_ms(10).as_ns(), 10_000_000);
+        assert_eq!(Time::from_secs(1).as_ns(), 1_000_000_000);
+        assert_eq!(Dur::from_us(3).as_ns(), 3_000);
+        assert_eq!(Dur::from_ms(2).as_ns(), 2_000_000);
+        assert_eq!(Dur::from_secs(4).as_ns(), 4_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_us(10) + Dur::from_us(5);
+        assert_eq!(t, Time::from_us(15));
+        assert_eq!(t - Time::from_us(5), Dur::from_us(10));
+        assert_eq!(t - Dur::from_us(15), Time::ZERO);
+        assert_eq!(Dur::from_us(4) * 3, Dur::from_us(12));
+        assert_eq!(Dur::from_us(12) / 4, Dur::from_us(3));
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(Time::from_us(1).since(Time::from_us(5)), Dur::ZERO);
+        assert_eq!(Time::from_us(9).since(Time::from_us(5)), Dur::from_us(4));
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert!((Dur::from_us(1500).as_us_f64() - 1500.0).abs() < 1e-9);
+        assert!((Time::from_ms(2).as_secs_f64() - 0.002).abs() < 1e-12);
+        assert_eq!(Dur::from_us_f64(2.5), Dur::from_ns(2500));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        assert!(Time::from_us(1) < Time::from_us(2));
+        assert_eq!(Time::from_us(1).max(Time::from_us(2)), Time::from_us(2));
+        assert_eq!(Dur::from_us(7).min(Dur::from_us(3)), Dur::from_us(3));
+        assert_eq!(Dur::from_us(3).saturating_sub(Dur::from_us(7)), Dur::ZERO);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Dur::from_ns(17)), "17ns");
+        assert_eq!(format!("{}", Dur::from_us(2)), "2.000us");
+        assert_eq!(format!("{}", Dur::from_ms(3)), "3.000ms");
+        assert_eq!(format!("{}", Dur::from_secs(1)), "1.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Dur = [Dur::from_us(1), Dur::from_us(2), Dur::from_us(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Dur::from_us(6));
+    }
+}

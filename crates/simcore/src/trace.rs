@@ -1,0 +1,155 @@
+//! Optional event tracing: a bounded record of every dispatched event, for
+//! debugging protocol state machines ("who sent what to whom, when").
+//!
+//! Tracing is off by default (zero cost beyond a branch); enable it with
+//! [`crate::Engine::enable_trace`] and read the records back after the run.
+
+use crate::engine::ActorId;
+use crate::time::Time;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// What kind of event was dispatched.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message delivery.
+    Message {
+        /// Sending actor.
+        from: ActorId,
+        /// Receiving actor.
+        to: ActorId,
+    },
+    /// A timer firing.
+    Timer {
+        /// Owning actor.
+        actor: ActorId,
+        /// The timer token.
+        token: u64,
+    },
+}
+
+/// One dispatched event.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time of dispatch.
+    pub at: Time,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// A bounded in-memory event log.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    names: HashMap<ActorId, String>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace retaining at most `capacity` records (oldest kept; once full,
+    /// further records are counted but not stored).
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            records: Vec::new(),
+            names: HashMap::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Attach a human-readable name to an actor for rendering.
+    pub fn name_actor(&mut self, id: ActorId, name: impl Into<String>) {
+        self.names.insert(id, name.into());
+    }
+
+    pub(crate) fn record(&mut self, at: Time, event: TraceEvent) {
+        if self.records.len() < self.capacity {
+            self.records.push(TraceRecord { at, event });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained records, in dispatch order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Events that exceeded the capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records involving `actor` (as sender, receiver, or timer owner).
+    pub fn involving(&self, actor: ActorId) -> Vec<&TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| match r.event {
+                TraceEvent::Message { from, to } => from == actor || to == actor,
+                TraceEvent::Timer { actor: a, .. } => a == actor,
+            })
+            .collect()
+    }
+
+    fn name(&self, id: ActorId) -> String {
+        self.names
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| format!("actor{id}"))
+    }
+
+    /// Render the trace as one line per event.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            match r.event {
+                TraceEvent::Message { from, to } => {
+                    let _ = writeln!(out, "{} {} -> {}", r.at, self.name(from), self.name(to));
+                }
+                TraceEvent::Timer { actor, token } => {
+                    let _ = writeln!(out, "{} {} timer#{token}", r.at, self.name(actor));
+                }
+            }
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} further events dropped (capacity)", self.dropped);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn records_and_caps() {
+        let mut t = Trace::new(2);
+        t.record(Time::ZERO, TraceEvent::Timer { actor: 0, token: 1 });
+        t.record(
+            Time::from_us(1),
+            TraceEvent::Message { from: 0, to: 1 },
+        );
+        t.record(
+            Time::from_us(2),
+            TraceEvent::Message { from: 1, to: 0 },
+        );
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.involving(1).len(), 1);
+    }
+
+    #[test]
+    fn dump_uses_names() {
+        let mut t = Trace::new(8);
+        t.name_actor(0, "hca-a");
+        t.record(
+            Time::ZERO + Dur::from_us(3),
+            TraceEvent::Message { from: 0, to: 1 },
+        );
+        let d = t.dump();
+        assert!(d.contains("hca-a -> actor1"), "{d}");
+    }
+}

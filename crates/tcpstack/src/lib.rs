@@ -1,0 +1,35 @@
+//! # tcpstack — sliding-window TCP model
+//!
+//! A byte-counting TCP state machine: sequence/ACK arithmetic, a configurable
+//! flow-control window (the paper's Figure 6(a) knob), slow-start ramping,
+//! MSS segmentation, and cumulative acknowledgments. It carries byte *counts*
+//! rather than payloads — the underlying network (IPoIB over the simulated
+//! IB fabric) is lossless and in-order, so no retransmission machinery is
+//! required; what matters for the WAN study is exactly the window/RTT
+//! throughput bound and the per-packet costs the MSS implies.
+//!
+//! The state machine is transport-agnostic: [`TcpConn::poll_tx`] yields
+//! segments whenever the window allows, and the carrier (the `ipoib` crate)
+//! decides when they physically leave. Parallel-stream experiments simply
+//! instantiate several connections.
+//!
+//! ```
+//! use tcpstack::{TcpConfig, TcpConn};
+//!
+//! let cfg = TcpConfig::for_mtu(2048).with_window(64 << 10);
+//! let mut tx = TcpConn::new(cfg);
+//! let mut rx = TcpConn::new(cfg);
+//! tx.app_send(10_000);
+//! // Lossless in-order carrier: shuttle segments until quiescent.
+//! loop {
+//!     let mut moved = false;
+//!     while let Some(seg) = tx.poll_tx() { rx.on_segment(seg); moved = true; }
+//!     while let Some(seg) = rx.poll_tx() { tx.on_segment(seg); moved = true; }
+//!     if !moved { break; }
+//! }
+//! assert_eq!(rx.delivered(), 10_000);
+//! ```
+
+pub mod conn;
+
+pub use conn::{TcpConfig, TcpConn, TcpSegment, DEFAULT_WINDOW, TCP_IP_HEADER};

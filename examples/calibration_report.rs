@@ -1,0 +1,20 @@
+//! Print the calibration report: every constant this reproduction anchors
+//! to the paper's prose numbers, re-measured by simulation.
+//!
+//! Run with: `cargo run --release --example calibration_report`
+
+use ibwan_repro::ibwan_core::calibration::{render, run_calibration};
+use ibwan_repro::ibwan_core::Fidelity;
+
+fn main() {
+    println!("Calibration against the paper's stated numbers:\n");
+    let checks = run_calibration(Fidelity::Quick);
+    println!("{}", render(&checks));
+    let failures = checks.iter().filter(|c| !c.ok()).count();
+    println!(
+        "\n{} of {} checks within tolerance",
+        checks.len() - failures,
+        checks.len()
+    );
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}

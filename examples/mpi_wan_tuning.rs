@@ -1,0 +1,50 @@
+//! WAN-aware MPI tuning: reproduce the paper's two MPI optimizations on a
+//! cluster-of-clusters job — rendezvous-threshold tuning (Figure 9) and the
+//! hierarchical broadcast (Figure 11) — plus the adaptive tuner the paper
+//! proposes as future work.
+//!
+//! Run with: `cargo run --release --example mpi_wan_tuning`
+
+use ibwan_repro::ibwan_core::adaptive::probe_and_tune;
+use ibwan_repro::mpisim::bench::{osu_bcast, osu_bw, wan_pair_with};
+use ibwan_repro::mpisim::proto::MpiConfig;
+use ibwan_repro::mpisim::world::JobSpec;
+use ibwan_repro::simcore::Dur;
+
+fn main() {
+    let delay = Dur::from_ms(10); // 2000 km of fiber
+
+    println!("== Rendezvous threshold tuning at 10 ms one-way delay ==\n");
+    println!(
+        "{:>10} {:>14} {:>14} {:>10}",
+        "msg bytes", "8K thresh", "64K thresh", "gain"
+    );
+    for size in [4096u32, 8192, 16384, 32768, 65536] {
+        let original = osu_bw(wan_pair_with(delay, MpiConfig::default()), size, 64, 4);
+        let tuned = osu_bw(wan_pair_with(delay, MpiConfig::wan_tuned()), size, 64, 4);
+        println!(
+            "{size:>10} {original:>14.1} {tuned:>14.1} {:>9.0}%",
+            (tuned / original - 1.0) * 100.0
+        );
+    }
+
+    println!("\n== Adaptive tuning (probe the link, pick the threshold) ==\n");
+    for (label, d) in [
+        ("LAN (0 km)", Dur::ZERO),
+        ("20 km", Dur::from_us(100)),
+        ("200 km", Dur::from_ms(1)),
+        ("2000 km", Dur::from_ms(10)),
+    ] {
+        let cfg = probe_and_tune(d);
+        println!("{label:>12}: eager/rendezvous threshold -> {} KB", cfg.eager_threshold / 1024);
+    }
+
+    println!("\n== Hierarchical broadcast, 16+16 ranks, 128 KB ==\n");
+    println!("{:>10} {:>14} {:>14} {:>10}", "delay us", "flat (us)", "hier (us)", "speedup");
+    for delay_us in [10u64, 100, 1000] {
+        let spec = JobSpec::two_clusters(16, 16, Dur::from_us(delay_us));
+        let flat = osu_bcast(spec, 131_072, 3, false);
+        let hier = osu_bcast(spec, 131_072, 3, true);
+        println!("{delay_us:>10} {flat:>14.1} {hier:>14.1} {:>9.2}x", flat / hier);
+    }
+}

@@ -1,0 +1,65 @@
+//! Cluster-of-clusters feasibility study (the paper's bottom line): which
+//! applications can actually run split across two sites? Runs the NAS
+//! IS/FT/CG skeletons at increasing separation and reports slowdowns, plus
+//! each code's message-size profile — the paper's explanation for the
+//! difference.
+//!
+//! Run with: `cargo run --release --example nas_feasibility`
+
+use ibwan_repro::mpisim::world::{JobSpec, MpiJob};
+use ibwan_repro::nasbench::{program, run, NasBenchmark};
+use ibwan_repro::obsidian::km_for_wire_delay;
+use ibwan_repro::simcore::Dur;
+
+fn main() {
+    let per_cluster = 8;
+    println!(
+        "NAS class-B skeletons on {}+{} ranks across the WAN\n",
+        per_cluster, per_cluster
+    );
+
+    // Message-size profile, as the paper did to explain Figure 12.
+    println!("message-size profile (messages sent by rank 0):");
+    for bench in NasBenchmark::ALL {
+        let spec = JobSpec::two_clusters(per_cluster, per_cluster, Dur::ZERO);
+        let mut job = MpiJob::build(spec, |rank, n| program(bench, rank, n));
+        job.run();
+        let hist = *job.process(0).proto.send_size_histogram();
+        let small: u64 = hist[..10].iter().sum(); // < 1 KB
+        let medium: u64 = hist[10..14].iter().sum(); // 1-16 KB
+        let large: u64 = hist[14..].iter().sum(); // >= 16 KB
+        let total = (small + medium + large).max(1);
+        println!(
+            "  {:>3}: {:>4.0}% small (<1K)  {:>4.0}% medium  {:>4.0}% large (>=16K)",
+            bench.name(),
+            100.0 * small as f64 / total as f64,
+            100.0 * medium as f64 / total as f64,
+            100.0 * large as f64 / total as f64,
+        );
+    }
+
+    println!("\nexecution-time slowdown vs single-site (x):");
+    println!("{:>10} {:>8} {:>8} {:>8}", "distance", "IS", "FT", "CG");
+    let mut base = Vec::new();
+    for bench in NasBenchmark::ALL {
+        base.push(run(bench, per_cluster, per_cluster, Dur::ZERO).time_secs);
+    }
+    for delay_us in [10u64, 100, 1000, 10000] {
+        let km = km_for_wire_delay(Dur::from_us(delay_us));
+        let mut row = Vec::new();
+        for (i, bench) in NasBenchmark::ALL.iter().enumerate() {
+            let t = run(*bench, per_cluster, per_cluster, Dur::from_us(delay_us)).time_secs;
+            row.push(t / base[i]);
+        }
+        println!(
+            "{:>8}km {:>7.2}x {:>7.2}x {:>7.2}x",
+            km, row[0], row[1], row[2]
+        );
+    }
+
+    println!(
+        "\nLarge-message codes (IS, FT) tolerate hundreds of km; the \
+         latency-bound CG degrades — matching the paper's Figure 12 and its \
+         conclusion that cluster-of-clusters is feasible for the right codes."
+    );
+}

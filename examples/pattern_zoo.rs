@@ -1,0 +1,73 @@
+//! The pattern zoo: how a communication pattern's *shape* decides whether a
+//! cluster-of-clusters deployment works — halo stencils, master-worker
+//! farms, rings, and random sparse exchanges, each swept across WAN
+//! distances, with the WAN traffic share from the communication matrix.
+//!
+//! Run with: `cargo run --release --example pattern_zoo`
+
+use ibwan_repro::mpisim::patterns::Pattern;
+use ibwan_repro::mpisim::world::{JobSpec, MpiJob};
+use ibwan_repro::obsidian::wire_delay_for_km;
+use ibwan_repro::simcore::Dur;
+
+fn run(p: &Pattern, per_cluster: usize, delay: Dur) -> (f64, f64) {
+    let spec = JobSpec::two_clusters(per_cluster, per_cluster, delay);
+    let mut job = MpiJob::build(spec, |rank, n| p.ops(rank, n));
+    job.run();
+    let n = 2 * per_cluster;
+    let t0 = (0..n).filter_map(|r| job.process(r).runner.mark(0)).min().unwrap();
+    let t1 = (0..n).filter_map(|r| job.process(r).runner.mark(1)).max().unwrap();
+    let total: u64 = job.traffic_matrix().iter().flatten().sum();
+    let wan = job.wan_bytes(per_cluster);
+    (
+        t1.since(t0).as_secs_f64(),
+        100.0 * wan as f64 / total.max(1) as f64,
+    )
+}
+
+fn main() {
+    let per_cluster = 8;
+    let patterns: Vec<(&str, Pattern)> = vec![
+        (
+            "halo2d 4x4, 64KB faces",
+            Pattern::Halo2d { rows: 4, cols: 4, face_bytes: 65536, iters: 10, compute_us: 2000 },
+        ),
+        (
+            "master-worker, 256KB tasks",
+            Pattern::MasterWorker {
+                task_bytes: 262_144,
+                result_bytes: 4096,
+                tasks_per_worker: 5,
+                compute_us: 3000,
+            },
+        ),
+        (
+            "ring, 128KB blocks",
+            Pattern::Ring { block_bytes: 131_072, iters: 20 },
+        ),
+        (
+            "sparse random, degree 4",
+            Pattern::SparseRandom { degree: 4, msg_bytes: 16384, supersteps: 10, seed: 5 },
+        ),
+    ];
+
+    println!("Pattern zoo on 8+8 ranks: slowdown vs single-site by distance\n");
+    println!(
+        "{:<28} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "pattern", "WAN traffic", "2km", "20km", "200km", "2000km"
+    );
+    for (name, p) in &patterns {
+        let (base, wan_pct) = run(p, per_cluster, Dur::ZERO);
+        let mut row = format!("{name:<28} {wan_pct:>10.0}% ");
+        for km in [2u64, 20, 200, 2000] {
+            let (t, _) = run(p, per_cluster, wire_delay_for_km(km));
+            row.push_str(&format!(" {:>7.2}x", t / base));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nLatency-bound patterns (rings, tight halos) pay per-step WAN round \
+         trips; bandwidth-bound farms amortize them — the same split the \
+         paper found between CG and IS/FT."
+    );
+}

@@ -1,0 +1,37 @@
+//! Plan a cluster-of-clusters deployment: given a target bandwidth and a
+//! site separation, compute the TCP window, stream count, RC message size,
+//! and MPI rendezvous threshold required — then verify one plan by
+//! simulation.
+//!
+//! Run with: `cargo run --release --example wan_planner`
+
+use ibwan_repro::ibwan_core::planner;
+use ibwan_repro::ibwan_core::Fidelity;
+use ibwan_repro::ipoib::node::IpoibConfig;
+use ibwan_repro::obsidian::wire_delay_for_km;
+use ibwan_repro::simcore::Rate;
+
+fn main() {
+    let target = Rate::from_mbytes_per_sec(400);
+    println!("Deployment plans for 400 MB/s across the WAN\n");
+    for km in [2u64, 20, 200, 2000] {
+        let delay = wire_delay_for_km(km);
+        println!("{}\n", planner::plan_summary(target, delay));
+    }
+
+    // Verify the 200 km plan by simulation.
+    let delay = wire_delay_for_km(200);
+    let window = planner::tcp_window_for(target, delay);
+    let got = ibwan_repro::ibwan_core::ipoib_exp::run_ipoib_point(
+        IpoibConfig::ud(),
+        window,
+        1,
+        delay.as_ns() / 1000,
+        Fidelity::Quick,
+    );
+    println!(
+        "verification @200 km: planned window {window} B -> simulated {got:.0} MB/s \
+         (target 400, IPoIB-UD host cap ~470)"
+    );
+    assert!(got > 320.0, "plan under-delivered: {got}");
+}

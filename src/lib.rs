@@ -1,0 +1,31 @@
+//! # ibwan-repro — umbrella crate
+//!
+//! Re-exports the whole reproduction of *Performance of HPC Middleware over
+//! InfiniBand WAN* (ICPP 2008) as one dependency. The root crate also hosts
+//! the cross-crate integration tests (`tests/`) and the runnable examples
+//! (`examples/`).
+//!
+//! Start with [`ibwan_core`] for the cluster-of-clusters experiment API, or
+//! with the individual substrates:
+//!
+//! * [`simcore`] — discrete-event engine
+//! * [`ibfabric`] — InfiniBand verbs/fabric model
+//! * [`obsidian`] — Longbow XR WAN range extenders
+//! * [`tcpstack`] / [`ipoib`] — TCP over IPoIB
+//! * [`mpisim`] — MPI (MVAPICH2-like) model
+//! * [`nfssim`] — NFS over RDMA / IPoIB
+//! * [`nasbench`] — NAS IS/FT/CG communication skeletons
+//! * [`sdp`] — Sockets Direct Protocol (the related-work comparison point)
+//! * [`pfs`] — Lustre-like parallel filesystem (the future-work substrate)
+
+pub use ibfabric;
+pub use ibwan_core;
+pub use ipoib;
+pub use mpisim;
+pub use nasbench;
+pub use nfssim;
+pub use obsidian;
+pub use pfs;
+pub use sdp;
+pub use simcore;
+pub use tcpstack;

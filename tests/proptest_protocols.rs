@@ -1,0 +1,361 @@
+//! Property-based tests on the protocol invariants DESIGN.md calls out:
+//! RC delivers every byte exactly once and in order under arbitrary
+//! message schedules and WAN delays; TCP over IPoIB delivers exact byte
+//! counts; collectives terminate for arbitrary shapes; simulations replay
+//! deterministically.
+
+use bytes::Bytes;
+use ibwan_repro::ibfabric::hca::HcaCore;
+use ibwan_repro::ibfabric::perftest::rc_qp_pair;
+use ibwan_repro::ibfabric::qp::{QpConfig, Qpn};
+use ibwan_repro::ibfabric::ulp::Ulp;
+use ibwan_repro::ibfabric::verbs::{Completion, RecvWr, SendWr};
+use ibwan_repro::ibfabric::{Fabric, NodeHandle};
+use ibwan_repro::ibwan_core::topology::{wan_node_pair, wan_node_pair_lossy};
+use ibwan_repro::ipoib::node::{IpoibConfig, IpoibMode, IpoibNode};
+use ibwan_repro::mpisim::coll;
+use ibwan_repro::mpisim::script::Op;
+use ibwan_repro::mpisim::world::{JobSpec, MpiJob};
+use ibwan_repro::simcore::{Ctx, Dur};
+use ibwan_repro::tcpstack::TcpConfig;
+use proptest::prelude::*;
+
+/// Deterministic payload pattern for message `i` of length `len`.
+fn pattern(i: usize, len: usize) -> Bytes {
+    (0..len)
+        .map(|j| ((i * 131 + j * 7) % 251) as u8)
+        .collect::<Vec<u8>>()
+        .into()
+}
+
+/// Posts a list of integrity-checked messages on start.
+struct IntegritySender {
+    qpn: Qpn,
+    sizes: Vec<u32>,
+}
+
+impl Ulp for IntegritySender {
+    fn start(&mut self, hca: &mut HcaCore, ctx: &mut Ctx<'_>) {
+        for (i, &len) in self.sizes.iter().enumerate() {
+            let wr = SendWr::send(i as u64, len, i as u64)
+                .with_data(pattern(i, len as usize));
+            hca.post_send(ctx, self.qpn, wr);
+        }
+    }
+    fn on_completion(&mut self, _h: &mut HcaCore, _c: &mut Ctx<'_>, _x: Completion) {}
+}
+
+/// Collects received messages with payloads.
+struct IntegrityReceiver {
+    qpn: Qpn,
+    got: Vec<(u32, u64, Option<Bytes>)>,
+}
+
+impl Ulp for IntegrityReceiver {
+    fn start(&mut self, hca: &mut HcaCore, _ctx: &mut Ctx<'_>) {
+        for _ in 0..4096 {
+            hca.post_recv(self.qpn, RecvWr { wr_id: 0 });
+        }
+    }
+    fn on_completion(&mut self, _h: &mut HcaCore, _c: &mut Ctx<'_>, c: Completion) {
+        if let Completion::RecvDone { len, imm, data, .. } = c {
+            self.got.push((len, imm, data));
+        }
+    }
+}
+
+fn integrity_fabric(sizes: &[u32], delay_us: u64) -> (Fabric, NodeHandle, NodeHandle) {
+    let (mut f, a, b) = wan_node_pair(
+        9,
+        Dur::from_us(delay_us),
+        Box::new(IntegritySender {
+            qpn: Qpn(0),
+            sizes: sizes.to_vec(),
+        }),
+        Box::new(IntegrityReceiver {
+            qpn: Qpn(0),
+            got: Vec::new(),
+        }),
+    );
+    let (qa, qb) = rc_qp_pair(&mut f, a, b, QpConfig::rc());
+    f.hca_mut(a).ulp_mut::<IntegritySender>().qpn = qa;
+    f.hca_mut(b).ulp_mut::<IntegrityReceiver>().qpn = qb;
+    (f, a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// RC delivers every message exactly once, in order, bytes intact,
+    /// regardless of sizes (multi-fragment included) and WAN delay.
+    #[test]
+    fn rc_delivers_in_order_and_intact(
+        sizes in proptest::collection::vec(1u32..12_000, 1..16),
+        delay_us in prop_oneof![Just(0u64), Just(50), Just(1000), Just(10_000)],
+    ) {
+        let (mut f, _a, b) = integrity_fabric(&sizes, delay_us);
+        f.run();
+        let got = &f.hca(b).ulp::<IntegrityReceiver>().got;
+        prop_assert_eq!(got.len(), sizes.len());
+        for (i, (&expected, (len, imm, data))) in sizes.iter().zip(got.iter()).enumerate() {
+            prop_assert_eq!(*len, expected, "length of message {}", i);
+            prop_assert_eq!(*imm, i as u64, "ordering of message {}", i);
+            let d = data.as_ref().expect("payload must arrive");
+            prop_assert_eq!(d, &pattern(i, expected as usize), "bytes of message {}", i);
+        }
+    }
+
+    /// TCP over IPoIB delivers exactly the bytes the application sent, for
+    /// any transfer size, stream count, window, and mode.
+    #[test]
+    fn tcp_over_ipoib_delivers_exact_byte_counts(
+        total in 1u64..400_000,
+        streams in 1usize..5,
+        window_kb in prop_oneof![Just(16u64), Just(64), Just(1024)],
+        rc_mode in any::<bool>(),
+        delay_us in prop_oneof![Just(0u64), Just(200)],
+    ) {
+        let cfg = if rc_mode { IpoibConfig::rc(65536) } else { IpoibConfig::ud() };
+        let tcp = TcpConfig::for_mtu(cfg.mtu).with_window(window_kb << 10);
+        let tx = Box::new(IpoibNode::sender(cfg, tcp, streams, total));
+        let rx = Box::new(IpoibNode::receiver(cfg, tcp, streams, total));
+        let (mut f, a, b) = wan_node_pair(13, Dur::from_us(delay_us), tx, rx);
+        let qa = f.hca_mut(a).core_mut().create_qp(cfg.qp_config());
+        let qb = f.hca_mut(b).core_mut().create_qp(cfg.qp_config());
+        if cfg.mode == IpoibMode::Rc {
+            f.hca_mut(a).core_mut().connect(qa, (b.lid, qb));
+            f.hca_mut(b).core_mut().connect(qb, (a.lid, qa));
+        }
+        {
+            let u = f.hca_mut(a).ulp_mut::<IpoibNode>();
+            u.port.qpn = qa;
+            u.port.peer = Some((b.lid, qb));
+        }
+        {
+            let u = f.hca_mut(b).ulp_mut::<IpoibNode>();
+            u.port.qpn = qb;
+            u.port.peer = Some((a.lid, qa));
+        }
+        f.run();
+        prop_assert_eq!(
+            f.hca(b).ulp::<IpoibNode>().delivered(),
+            total * streams as u64
+        );
+    }
+
+    /// Every collective terminates on the real engine for arbitrary rank
+    /// counts, roots, and sizes (power-of-two where the algorithm needs it).
+    #[test]
+    fn collectives_terminate_on_engine(
+        log_n in 1u32..4,
+        root_pick in 0usize..8,
+        len in prop_oneof![Just(16u32), Just(8192), Just(65536)],
+        delay_us in prop_oneof![Just(0u64), Just(100)],
+    ) {
+        let n = 1usize << log_n;
+        let root = root_pick % n;
+        let half = (n / 2).max(1);
+        let spec = JobSpec::two_clusters(n - half, half, Dur::from_us(delay_us));
+        let mut job = MpiJob::build(spec, |rank, nr| {
+            let members: Vec<usize> = (0..nr).collect();
+            let mut ops = coll::bcast(&members, rank, root, len, 100);
+            ops.extend(coll::barrier(nr, rank, 8000));
+            ops.extend(coll::allreduce(nr, rank, 8, 16000));
+            ops.extend(coll::alltoall(nr, rank, 256, 24000));
+            ops
+        });
+        // MpiJob::run asserts every rank finished (deadlock check).
+        job.run();
+    }
+
+    /// Even with WAN packet loss, RC delivers every message exactly once,
+    /// in order, with its bytes intact (go-back-N retransmission).
+    #[test]
+    fn rc_is_reliable_under_wan_loss(
+        sizes in proptest::collection::vec(1u32..8_000, 1..10),
+        loss_ppm in prop_oneof![Just(5_000u32), Just(20_000), Just(50_000)],
+        seed in 1u64..64,
+    ) {
+        let (mut f, a, b) = wan_node_pair_lossy(
+            seed,
+            Dur::from_us(100),
+            loss_ppm,
+            Box::new(IntegritySender { qpn: Qpn(0), sizes: sizes.to_vec() }),
+            Box::new(IntegrityReceiver { qpn: Qpn(0), got: Vec::new() }),
+        );
+        // Tight RTO so the retry storm converges quickly in virtual time.
+        let qp = ibwan_repro::ibfabric::qp::QpConfig {
+            rto: Dur::from_ms(2),
+            ..ibwan_repro::ibfabric::qp::QpConfig::rc()
+        };
+        let (qa, qb) = rc_qp_pair(&mut f, a, b, qp);
+        f.hca_mut(a).ulp_mut::<IntegritySender>().qpn = qa;
+        f.hca_mut(b).ulp_mut::<IntegrityReceiver>().qpn = qb;
+        f.run();
+        let got = &f.hca(b).ulp::<IntegrityReceiver>().got;
+        prop_assert_eq!(got.len(), sizes.len(), "exactly-once delivery");
+        for (i, (&expected, (len, imm, data))) in sizes.iter().zip(got.iter()).enumerate() {
+            prop_assert_eq!(*len, expected);
+            prop_assert_eq!(*imm, i as u64, "in-order delivery");
+            let d = data.as_ref().expect("payload must arrive");
+            prop_assert_eq!(d, &pattern(i, expected as usize));
+        }
+    }
+
+    /// Subnet-manager routing: on a random tree of switches with HCAs
+    /// hanging off random switches, every pair of endpoints can exchange a
+    /// message (BFS forwarding tables are complete and loop-free).
+    #[test]
+    fn random_tree_topologies_route_all_pairs(
+        n_switches in 1usize..6,
+        attach in proptest::collection::vec(0usize..6, 2..8),
+        parent in proptest::collection::vec(0usize..6, 0..6),
+        pair_pick in (0usize..64, 0usize..64),
+        size in 1u32..9000,
+    ) {
+        use ibwan_repro::ibfabric::fabric::FabricBuilder;
+        use ibwan_repro::ibfabric::hca::HcaConfig;
+        use ibwan_repro::ibfabric::link::LinkConfig;
+
+        let n_nodes = attach.len();
+        let src = pair_pick.0 % n_nodes;
+        let dst_raw = pair_pick.1 % n_nodes;
+        let dst = if dst_raw == src { (src + 1) % n_nodes } else { dst_raw };
+        prop_assume!(src != dst);
+
+        let mut b = FabricBuilder::new(3);
+        let mut nodes = Vec::new();
+        for i in 0..n_nodes {
+            let ulp: Box<dyn Ulp> = if i == src {
+                Box::new(IntegritySender { qpn: Qpn(0), sizes: vec![size] })
+            } else if i == dst {
+                Box::new(IntegrityReceiver { qpn: Qpn(0), got: Vec::new() })
+            } else {
+                // Bystander nodes own no QPs.
+                Box::new(ibwan_repro::ibfabric::NullUlp)
+            };
+            nodes.push(b.add_hca(HcaConfig::default(), ulp));
+        }
+        let switches: Vec<_> = (0..n_switches).map(|_| b.add_switch()).collect();
+        // Random tree over switches: switch k links to a parent among 0..k.
+        for k in 1..n_switches {
+            let p = parent.get(k).copied().unwrap_or(0) % k;
+            b.link(switches[k], switches[p], LinkConfig::ddr_lan());
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            let sw = switches[attach[i] % n_switches];
+            b.link(node.actor, sw, LinkConfig::ddr_lan());
+        }
+        let mut f = b.finish();
+        let (qa, qb) = rc_qp_pair(&mut f, nodes[src], nodes[dst], QpConfig::rc());
+        f.hca_mut(nodes[src]).ulp_mut::<IntegritySender>().qpn = qa;
+        f.hca_mut(nodes[dst]).ulp_mut::<IntegrityReceiver>().qpn = qb;
+        f.run();
+        let got = &f.hca(nodes[dst]).ulp::<IntegrityReceiver>().got;
+        prop_assert_eq!(got.len(), 1, "message must arrive across the tree");
+        prop_assert_eq!(got[0].0, size);
+    }
+
+    /// SDP delivers exactly the bytes sent, for any message size mix
+    /// straddling the BCopy/ZCopy threshold, at any delay.
+    #[test]
+    fn sdp_delivers_exact_bytes(
+        msg_size in prop_oneof![Just(1u32), Just(4096), Just(32768), Just(65536), Just(262_144)],
+        count in 1u64..40,
+        delay_us in prop_oneof![Just(0u64), Just(500)],
+    ) {
+        use ibwan_repro::sdp::{SdpConfig, SdpNode};
+        let tx = Box::new(SdpNode::sender(SdpConfig::default(), msg_size, count));
+        let rx = Box::new(SdpNode::receiver(SdpConfig::default()));
+        let (mut f, a, b) = wan_node_pair(21, Dur::from_us(delay_us), tx, rx);
+        let (qa, qb) = rc_qp_pair(&mut f, a, b, QpConfig::rc());
+        f.hca_mut(a).ulp_mut::<SdpNode>().socket.qpn = qa;
+        f.hca_mut(b).ulp_mut::<SdpNode>().socket.qpn = qb;
+        f.run();
+        prop_assert_eq!(
+            f.hca(b).ulp::<SdpNode>().delivered(),
+            msg_size as u64 * count
+        );
+    }
+
+    /// Every synthetic pattern terminates on the engine for arbitrary
+    /// parameters (deadlock freedom of the generated scripts).
+    #[test]
+    fn patterns_terminate(
+        which in 0usize..4,
+        per_cluster in 2usize..5,
+        msg in prop_oneof![Just(64u32), Just(8192), Just(65536)],
+        reps in 1u32..4,
+    ) {
+        use ibwan_repro::mpisim::patterns::Pattern;
+        let n = 2 * per_cluster;
+        let p = match which {
+            0 => Pattern::Halo2d {
+                rows: 2,
+                cols: n / 2,
+                face_bytes: msg,
+                iters: reps,
+                compute_us: 10,
+            },
+            1 => Pattern::MasterWorker {
+                task_bytes: msg,
+                result_bytes: 64,
+                tasks_per_worker: reps,
+                compute_us: 10,
+            },
+            2 => Pattern::Ring { block_bytes: msg, iters: reps },
+            _ => Pattern::SparseRandom {
+                degree: 2,
+                msg_bytes: msg,
+                supersteps: reps,
+                seed: 11,
+            },
+        };
+        let spec = JobSpec::two_clusters(per_cluster, per_cluster, Dur::from_us(50));
+        let mut job = MpiJob::build(spec, |rank, nr| p.ops(rank, nr));
+        job.run(); // asserts all ranks finished
+    }
+
+    /// Same seed, same configuration: bit-identical virtual end times.
+    #[test]
+    fn deterministic_replay(
+        sizes in proptest::collection::vec(1u32..5_000, 1..8),
+        delay_us in 0u64..2_000,
+    ) {
+        let run = |sizes: &[u32]| {
+            let (mut f, _a, _b) = integrity_fabric(sizes, delay_us);
+            f.run().as_ns()
+        };
+        prop_assert_eq!(run(&sizes), run(&sizes));
+    }
+
+    /// Message coalescing preserves message count and total bytes.
+    #[test]
+    fn coalescing_preserves_messages(
+        count in 1u32..200,
+        len in 1u32..1024,
+    ) {
+        use ibwan_repro::mpisim::proto::{CoalesceConfig, MpiConfig};
+        let cfg = MpiConfig {
+            coalescing: Some(CoalesceConfig::default()),
+            ..MpiConfig::default()
+        };
+        let spec = JobSpec::two_clusters(1, 1, Dur::from_us(100)).with_mpi(cfg);
+        let mut job = MpiJob::build(spec, |rank, _| {
+            if rank == 0 {
+                vec![
+                    Op::SendWindow { to: 1, len, tag: 1, count },
+                    Op::Recv { from: 1, tag: 2 },
+                ]
+            } else {
+                vec![
+                    Op::RecvWindow { from: 0, tag: 1, count },
+                    Op::Send { to: 0, len: 4, tag: 2 },
+                ]
+            }
+        });
+        job.run();
+        prop_assert_eq!(job.process(0).proto.msgs_sent(), count as u64);
+        prop_assert_eq!(job.process(0).proto.bytes_sent(), count as u64 * len as u64);
+    }
+}
