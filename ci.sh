@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: build, full test suite, perf smoke, and lint-clean hot-path crates.
+#
+# Keep this runnable offline — the workspace vendors all dependencies under
+# compat/, so no network access is needed at any step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> build (release)"
+cargo build --workspace --release
+
+echo "==> tests"
+cargo test --workspace --quiet
+
+echo "==> perf smoke (Quick subset + allocation counters)"
+cargo run --release -p bench --bin perf -- --quick --json /tmp/BENCH_smoke.json
+
+echo "==> clippy (hot-path crates, warnings are errors)"
+cargo clippy -p ibwire -p simcore -p ibfabric -p obsidian -p ibwan-core -p bench \
+    --all-targets -- -D warnings
+
+echo "CI OK"

@@ -63,6 +63,7 @@ fn main() {
         }
     }
     if as_json {
-        println!("{}", serde_json::to_string_pretty(&results).unwrap());
+        let arr = minijson::Value::Arr(results.iter().map(|r| r.to_value()).collect());
+        println!("{}", arr.to_pretty());
     }
 }

@@ -1,0 +1,216 @@
+//! `perf` — wall-clock performance harness for the event-engine hot path.
+//!
+//! Times a fixed repro subset (fig5a verbs-RC, fig8a MPI, fig13a NFS) at
+//! Quick and Full fidelity and emits `BENCH_engine.json`, so every PR has a
+//! perf trajectory against the previous baseline.
+//!
+//! ```text
+//! perf [--quick] [--json PATH] [--baseline PATH] [--repeat N]
+//!
+//!   --quick          time only the Quick-fidelity subset (CI smoke)
+//!   --json PATH      write the result document (default BENCH_engine.json)
+//!   --baseline PATH  prior BENCH_engine.json to compare against; its
+//!                    timings are embedded and a full-fidelity speedup is
+//!                    computed
+//!   --repeat N       best-of-N timing per experiment (default 3 quick / 1 full)
+//! ```
+
+use bench::catalog;
+use ibwan_core::Fidelity;
+use minijson::{obj, Value};
+
+/// The fixed subset: one verbs, one MPI, one NFS experiment — together they
+/// cover the RC data path, the rendezvous protocol stack, and the RPC/ULP
+/// layers that dominate `repro --full` wall time.
+const SUBSET: [&str; 3] = ["fig5a", "fig8a", "fig13a"];
+
+struct Timing {
+    id: &'static str,
+    fidelity: Fidelity,
+    secs: f64,
+}
+
+fn main() {
+    let mut quick_only = false;
+    let mut json_path = "BENCH_engine.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut repeat: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick_only = true,
+            "--json" => json_path = args.next().expect("--json needs a path"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            "--repeat" => {
+                repeat = Some(
+                    args.next()
+                        .expect("--repeat needs a count")
+                        .parse()
+                        .expect("--repeat needs an integer"),
+                )
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: perf [--quick] [--json PATH] [--baseline PATH] [--repeat N]");
+                return;
+            }
+            other => panic!("unknown argument {other:?} (try --help)"),
+        }
+    }
+
+    let experiments = catalog();
+    let subset: Vec<_> = SUBSET
+        .iter()
+        .map(|id| {
+            experiments
+                .iter()
+                .find(|e| e.id == *id)
+                .unwrap_or_else(|| panic!("experiment {id} missing from catalog"))
+        })
+        .collect();
+
+    let fidelities: &[Fidelity] = if quick_only {
+        &[Fidelity::Quick]
+    } else {
+        &[Fidelity::Quick, Fidelity::Full]
+    };
+
+    let mut timings = Vec::new();
+    for &fidelity in fidelities {
+        let reps = repeat.unwrap_or(match fidelity {
+            Fidelity::Quick => 3,
+            Fidelity::Full => 1,
+        });
+        for e in &subset {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps.max(1) {
+                let t0 = std::time::Instant::now();
+                let fig = (e.run)(fidelity);
+                let dt = t0.elapsed().as_secs_f64();
+                assert!(
+                    fig.series.iter().any(|s| !s.points.is_empty()),
+                    "{} produced an empty figure",
+                    e.id
+                );
+                best = best.min(dt);
+            }
+            eprintln!("{:8} {fidelity:?}: {best:.3}s (best of {reps})", e.id);
+            timings.push(Timing {
+                id: e.id,
+                fidelity,
+                secs: best,
+            });
+        }
+    }
+
+    let counters = engine_counters();
+    eprintln!(
+        "engine counters (8 MiB WAN RC stream): events_processed={} \
+         events_allocated={} peak_queue_len={} pool_hit_rate={:.4}",
+        counters.events_processed,
+        counters.events_allocated,
+        counters.peak_queue_len,
+        counters.pool_hit_rate()
+    );
+
+    let baseline = baseline_path.as_deref().map(|p| {
+        let text = std::fs::read_to_string(p)
+            .unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"));
+        Value::parse(&text).unwrap_or_else(|e| panic!("cannot parse baseline {p}: {e}"))
+    });
+
+    let full_total: f64 = timings
+        .iter()
+        .filter(|t| t.fidelity == Fidelity::Full)
+        .map(|t| t.secs)
+        .sum();
+    let speedup = baseline.as_ref().and_then(|b| {
+        let base_total = baseline_full_total(b)?;
+        (full_total > 0.0).then(|| base_total / full_total)
+    });
+    if let Some(s) = speedup {
+        eprintln!("full-fidelity subset speedup vs baseline: {s:.2}x");
+    }
+
+    let timing_values: Vec<Value> = timings
+        .iter()
+        .map(|t| {
+            obj([
+                ("id", Value::from(t.id)),
+                (
+                    "fidelity",
+                    Value::from(match t.fidelity {
+                        Fidelity::Quick => "quick",
+                        Fidelity::Full => "full",
+                    }),
+                ),
+                ("secs", Value::Num(t.secs)),
+            ])
+        })
+        .collect();
+
+    let mut doc = vec![
+        ("benchmark", Value::from("engine-hotpath")),
+        (
+            "subset",
+            Value::Arr(SUBSET.iter().map(|&s| Value::from(s)).collect()),
+        ),
+        ("timings", Value::Arr(timing_values)),
+        (
+            "engine_counters",
+            obj([
+                ("events_processed", Value::from(counters.events_processed)),
+                ("events_allocated", Value::from(counters.events_allocated)),
+                ("peak_queue_len", Value::from(counters.peak_queue_len)),
+                ("pool_hit_rate", Value::Num(counters.pool_hit_rate())),
+            ]),
+        ),
+    ];
+    if let Some(b) = baseline {
+        if let Some(s) = speedup {
+            doc.push(("speedup_full_vs_baseline", Value::Num(s)));
+        }
+        doc.push(("baseline", b));
+    }
+    std::fs::write(&json_path, obj(doc).to_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+    eprintln!("wrote {json_path}");
+}
+
+/// Sum of the baseline document's full-fidelity subset timings.
+fn baseline_full_total(doc: &Value) -> Option<f64> {
+    let timings = doc.get("timings")?.as_array()?;
+    let mut total = 0.0;
+    let mut seen = 0;
+    for t in timings {
+        if t.get("fidelity")?.as_str()? == "full" && SUBSET.contains(&t.get("id")?.as_str()?) {
+            total += t.get("secs")?.as_f64()?;
+            seen += 1;
+        }
+    }
+    (seen == SUBSET.len()).then_some(total)
+}
+
+/// Counter-verified allocation behavior: stream an 8 MiB WAN RC transfer
+/// through one fabric and read the engine's event-pool counters out of the
+/// report.
+fn engine_counters() -> simcore::EngineCounters {
+    use ibfabric::perftest::{rc_qp_pair, BwConfig, BwPeer};
+    use ibfabric::qp::QpConfig;
+    use ibwan_core::topology::wan_node_pair;
+    use simcore::Dur;
+
+    // 8 MiB in 64 KiB messages: enough fragments (~4k) to reach steady
+    // state while keeping the probe itself sub-second.
+    let msgs = 128;
+    let (mut f, a, b) = wan_node_pair(
+        42,
+        Dur::from_us(100),
+        Box::new(BwPeer::sender(BwConfig::new(65536, msgs))),
+        Box::new(BwPeer::receiver()),
+    );
+    let (qa, qb) = rc_qp_pair(&mut f, a, b, QpConfig::rc());
+    f.hca_mut(a).ulp_mut::<BwPeer>().qpn = qa;
+    f.hca_mut(b).ulp_mut::<BwPeer>().qpn = qb;
+    f.run();
+    f.report().engine_counters
+}

@@ -1,0 +1,79 @@
+//! Golden determinism tests: the simulation must be bit-reproducible.
+//!
+//! Running the same experiment twice with the same seed must produce
+//! byte-identical tables/JSON **and** dispatch exactly the same number of
+//! engine events. This pins the engine's `(time, seq)` ordering contract and
+//! the event-pool refactor: any hidden nondeterminism (hash-map iteration,
+//! pointer-keyed ordering, pool-dependent dispatch order) breaks these tests.
+
+use bench::catalog;
+use ibfabric::perftest::{rc_qp_pair, BwConfig, BwPeer};
+use ibfabric::qp::QpConfig;
+use ibwan_core::topology::wan_node_pair;
+use ibwan_core::Fidelity;
+use simcore::Dur;
+
+/// Run a catalog experiment twice at Quick fidelity and demand bit-identical
+/// output.
+fn assert_golden(id: &str) {
+    let experiments = catalog();
+    let e = experiments
+        .iter()
+        .find(|e| e.id == id)
+        .unwrap_or_else(|| panic!("experiment {id} missing from catalog"));
+    let first = (e.run)(Fidelity::Quick);
+    let second = (e.run)(Fidelity::Quick);
+    assert_eq!(
+        first.to_table(),
+        second.to_table(),
+        "{id}: table drifted between identically-seeded runs"
+    );
+    assert_eq!(
+        first.to_json(),
+        second.to_json(),
+        "{id}: JSON drifted between identically-seeded runs"
+    );
+}
+
+#[test]
+fn rc_verbs_figure_is_bit_identical_across_runs() {
+    assert_golden("fig5a");
+}
+
+#[test]
+fn nfs_figure_is_bit_identical_across_runs() {
+    assert_golden("fig13a");
+}
+
+/// Whole-fabric report equality, including the engine's event counters: two
+/// identically-seeded WAN RC streams must dispatch event-for-event the same
+/// schedule, not merely converge to the same figures.
+#[test]
+fn fabric_reports_and_event_counts_are_identical() {
+    fn run() -> ibfabric::fabric::FabricReport {
+        let (mut f, a, b) = wan_node_pair(
+            42,
+            Dur::from_us(100),
+            Box::new(BwPeer::sender(BwConfig::new(65536, 64))),
+            Box::new(BwPeer::receiver()),
+        );
+        let (qa, qb) = rc_qp_pair(&mut f, a, b, QpConfig::rc());
+        f.hca_mut(a).ulp_mut::<BwPeer>().qpn = qa;
+        f.hca_mut(b).ulp_mut::<BwPeer>().qpn = qb;
+        f.run();
+        f.report()
+    }
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "fabric reports diverged across runs");
+    assert!(
+        first.engine_counters.events_processed > 0,
+        "probe must actually run events"
+    );
+    // Steady-state streams must be served from the event pool, not malloc.
+    assert!(
+        first.engine_counters.pool_hit_rate() > 0.9,
+        "pool hit rate collapsed: {:?}",
+        first.engine_counters
+    );
+}

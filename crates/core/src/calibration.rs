@@ -7,11 +7,10 @@ use crate::Fidelity;
 use ibfabric::perftest::{rc_qp_pair, ud_qp_pair, BwConfig, BwPeer, LatMode, PingPong};
 use ibfabric::qp::QpConfig;
 use mpisim::bench::{osu_bw, wan_pair};
-use serde::{Deserialize, Serialize};
 use simcore::Dur;
 
 /// One calibration check: a measured value against the paper's number.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Check {
     /// What is being verified.
     pub name: String,

@@ -52,10 +52,9 @@ pub mod verbs;
 pub use results::{Figure, Series};
 pub use topology::{lan_node_pair, wan_node_pair};
 
-use serde::{Deserialize, Serialize};
 
 /// How much simulated work to spend per data point.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Fidelity {
     /// Small iteration counts: seconds per figure; used by tests.
     Quick,

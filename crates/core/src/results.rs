@@ -1,10 +1,9 @@
 //! Result containers for regenerated tables and figures.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One labeled curve of a figure.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Legend label (e.g. "RC-1000us-delay").
     pub label: String,
@@ -41,7 +40,7 @@ impl Series {
 }
 
 /// A regenerated table or figure.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Identifier matching the paper ("fig5a", "table1", ...).
     pub id: String,
@@ -115,7 +114,87 @@ impl Figure {
 
     /// Serialize to JSON (for EXPERIMENTS.md regeneration).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serialization")
+        self.to_value().to_pretty()
+    }
+
+    /// The JSON value tree `to_json` renders.
+    pub fn to_value(&self) -> minijson::Value {
+        use minijson::{obj, Value};
+        obj([
+            ("id", Value::from(self.id.clone())),
+            ("title", Value::from(self.title.clone())),
+            ("x_label", Value::from(self.x_label.clone())),
+            ("y_label", Value::from(self.y_label.clone())),
+            (
+                "series",
+                Value::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            obj([
+                                ("label", Value::from(s.label.clone())),
+                                (
+                                    "points",
+                                    Value::Arr(
+                                        s.points
+                                            .iter()
+                                            .map(|&(x, y)| {
+                                                Value::Arr(vec![Value::Num(x), Value::Num(y)])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse the JSON layout produced by [`Figure::to_json`].
+    pub fn from_json(json: &str) -> Result<Figure, String> {
+        let v = minijson::Value::parse(json)?;
+        let text = |key: &str| {
+            v.get(key)
+                .and_then(|f| f.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("figure: missing string field {key:?}"))
+        };
+        let series = v
+            .get("series")
+            .and_then(|s| s.as_array())
+            .ok_or_else(|| "figure: missing series array".to_string())?
+            .iter()
+            .map(|s| {
+                let label = s
+                    .get("label")
+                    .and_then(|l| l.as_str())
+                    .ok_or_else(|| "series: missing label".to_string())?
+                    .to_string();
+                let points = s
+                    .get("points")
+                    .and_then(|p| p.as_array())
+                    .ok_or_else(|| "series: missing points".to_string())?
+                    .iter()
+                    .map(|p| match p.as_array() {
+                        Some([x, y]) => match (x.as_f64(), y.as_f64()) {
+                            (Some(x), Some(y)) => Ok((x, y)),
+                            _ => Err("series: non-numeric point".to_string()),
+                        },
+                        _ => Err("series: point is not an [x, y] pair".to_string()),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Series { label, points })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Figure {
+            id: text("id")?,
+            title: text("title")?,
+            x_label: text("x_label")?,
+            y_label: text("y_label")?,
+            series,
+        })
     }
 }
 
@@ -180,9 +259,12 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let mut f = Figure::new("t", "t", "x", "y");
-        f.series.push(Series::new("s"));
+        let mut s = Series::new("s");
+        s.push(1.0, 2.5);
+        f.series.push(s);
         let j = f.to_json();
-        let back: Figure = serde_json::from_str(&j).unwrap();
+        let back = Figure::from_json(&j).unwrap();
         assert_eq!(back.id, "t");
+        assert_eq!(back.series("s").unwrap().points, vec![(1.0, 2.5)]);
     }
 }

@@ -25,24 +25,20 @@ use mpisim::proto::{MpiConfig, RndvProtocol};
 use mpisim::world::JobSpec;
 use nasbench::NasBenchmark;
 use nfssim::{run_read_experiment, NfsSetup, Transport as NfsTransport};
-use serde::{Deserialize, Serialize};
 use simcore::Dur;
 use tcpstack::TcpConfig;
 
 /// The WAN separating the two clusters.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct Topology {
     /// One-way emulated wire delay in microseconds (5 µs ≈ 1 km).
-    #[serde(default)]
     pub delay_us: u64,
     /// WAN packet loss, parts per million (verbs workloads only).
-    #[serde(default)]
     pub loss_ppm: u32,
 }
 
 /// Which benchmark to run across the WAN.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Clone, Debug)]
 pub enum Workload {
     /// Verbs-level ping-pong latency (`ib_send_lat`-style).
     VerbsLatency {
@@ -91,10 +87,8 @@ pub enum Workload {
         /// Windows.
         iters: u32,
         /// Eager/rendezvous threshold in bytes (0 = MVAPICH2 default 8 K).
-        #[serde(default)]
         eager_threshold: u32,
         /// "rput" (default), "rget", or "r3".
-        #[serde(default)]
         rndv_protocol: String,
     },
     /// MPI broadcast latency across two clusters.
@@ -106,7 +100,6 @@ pub enum Workload {
         /// Iterations.
         iters: u32,
         /// Use the WAN-aware hierarchical algorithm.
-        #[serde(default)]
         hierarchical: bool,
     },
     /// Multi-pair aggregate message rate.
@@ -144,18 +137,188 @@ pub enum Workload {
         /// File size in MiB.
         file_mib: u64,
         /// Write instead of read.
-        #[serde(default)]
         write: bool,
     },
 }
 
+impl Workload {
+    /// Serialize to the internally-tagged JSON layout (`"kind"` tag,
+    /// snake_case variant names) scenario files use.
+    pub fn to_value(&self) -> minijson::Value {
+        use minijson::{obj, Value};
+        match self {
+            Workload::VerbsLatency { mode, size, iters } => obj([
+                ("kind", Value::from("verbs_latency")),
+                ("mode", Value::from(mode.clone())),
+                ("size", Value::from(*size)),
+                ("iters", Value::from(*iters)),
+            ]),
+            Workload::VerbsBandwidth { transport, size, iters } => obj([
+                ("kind", Value::from("verbs_bandwidth")),
+                ("transport", Value::from(transport.clone())),
+                ("size", Value::from(*size)),
+                ("iters", Value::from(*iters)),
+            ]),
+            Workload::Ipoib { mode, mtu, window, streams, bytes_per_stream } => obj([
+                ("kind", Value::from("ipoib")),
+                ("mode", Value::from(mode.clone())),
+                ("mtu", Value::from(*mtu)),
+                ("window", Value::from(*window)),
+                ("streams", Value::from(*streams)),
+                ("bytes_per_stream", Value::from(*bytes_per_stream)),
+            ]),
+            Workload::MpiLatency { size, iters } => obj([
+                ("kind", Value::from("mpi_latency")),
+                ("size", Value::from(*size)),
+                ("iters", Value::from(*iters)),
+            ]),
+            Workload::MpiBandwidth { size, window, iters, eager_threshold, rndv_protocol } => {
+                obj([
+                    ("kind", Value::from("mpi_bandwidth")),
+                    ("size", Value::from(*size)),
+                    ("window", Value::from(*window)),
+                    ("iters", Value::from(*iters)),
+                    ("eager_threshold", Value::from(*eager_threshold)),
+                    ("rndv_protocol", Value::from(rndv_protocol.clone())),
+                ])
+            }
+            Workload::MpiBcast { ranks_per_cluster, size, iters, hierarchical } => obj([
+                ("kind", Value::from("mpi_bcast")),
+                ("ranks_per_cluster", Value::from(*ranks_per_cluster)),
+                ("size", Value::from(*size)),
+                ("iters", Value::from(*iters)),
+                ("hierarchical", Value::from(*hierarchical)),
+            ]),
+            Workload::MessageRate { pairs, size, window, iters } => obj([
+                ("kind", Value::from("message_rate")),
+                ("pairs", Value::from(*pairs)),
+                ("size", Value::from(*size)),
+                ("window", Value::from(*window)),
+                ("iters", Value::from(*iters)),
+            ]),
+            Workload::Nas { benchmark, ranks_per_cluster } => obj([
+                ("kind", Value::from("nas")),
+                ("benchmark", Value::from(benchmark.clone())),
+                ("ranks_per_cluster", Value::from(*ranks_per_cluster)),
+            ]),
+            Workload::MpiPattern { ranks_per_cluster, spec } => obj([
+                ("kind", Value::from("mpi_pattern")),
+                ("ranks_per_cluster", Value::from(*ranks_per_cluster)),
+                ("spec", spec.to_value()),
+            ]),
+            Workload::Nfs { transport, threads, file_mib, write } => obj([
+                ("kind", Value::from("nfs")),
+                ("transport", Value::from(transport.clone())),
+                ("threads", Value::from(*threads)),
+                ("file_mib", Value::from(*file_mib)),
+                ("write", Value::from(*write)),
+            ]),
+        }
+    }
+
+    /// Parse the tagged JSON layout produced by [`Workload::to_value`].
+    pub fn from_value(v: &minijson::Value) -> Result<Workload, String> {
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(|f| f.as_u64())
+                .ok_or_else(|| format!("workload: missing or non-integer field {key:?}"))
+        };
+        let num_or = |key: &str, default: u64| match v.get(key) {
+            None => Ok(default),
+            Some(f) => f
+                .as_u64()
+                .ok_or_else(|| format!("workload: bad field {key:?}")),
+        };
+        let text = |key: &str| {
+            v.get(key)
+                .and_then(|f| f.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("workload: missing string field {key:?}"))
+        };
+        let flag = |key: &str| match v.get(key) {
+            None => Ok(false),
+            Some(f) => f
+                .as_bool()
+                .ok_or_else(|| format!("workload: bad flag {key:?}")),
+        };
+        let kind = v
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .ok_or("workload: missing \"kind\" tag")?;
+        match kind {
+            "verbs_latency" => Ok(Workload::VerbsLatency {
+                mode: text("mode")?,
+                size: num("size")? as u32,
+                iters: num("iters")? as u32,
+            }),
+            "verbs_bandwidth" => Ok(Workload::VerbsBandwidth {
+                transport: text("transport")?,
+                size: num("size")? as u32,
+                iters: num("iters")?,
+            }),
+            "ipoib" => Ok(Workload::Ipoib {
+                mode: text("mode")?,
+                mtu: num("mtu")? as u32,
+                window: num("window")?,
+                streams: num("streams")? as usize,
+                bytes_per_stream: num("bytes_per_stream")?,
+            }),
+            "mpi_latency" => Ok(Workload::MpiLatency {
+                size: num("size")? as u32,
+                iters: num("iters")? as u32,
+            }),
+            "mpi_bandwidth" => Ok(Workload::MpiBandwidth {
+                size: num("size")? as u32,
+                window: num("window")? as u32,
+                iters: num("iters")? as u32,
+                eager_threshold: num_or("eager_threshold", 0)? as u32,
+                rndv_protocol: match v.get("rndv_protocol") {
+                    None => String::new(),
+                    Some(p) => p
+                        .as_str()
+                        .ok_or("workload: bad rndv_protocol")?
+                        .to_string(),
+                },
+            }),
+            "mpi_bcast" => Ok(Workload::MpiBcast {
+                ranks_per_cluster: num("ranks_per_cluster")? as usize,
+                size: num("size")? as u32,
+                iters: num("iters")? as u32,
+                hierarchical: flag("hierarchical")?,
+            }),
+            "message_rate" => Ok(Workload::MessageRate {
+                pairs: num("pairs")? as usize,
+                size: num("size")? as u32,
+                window: num("window")? as u32,
+                iters: num("iters")? as u32,
+            }),
+            "nas" => Ok(Workload::Nas {
+                benchmark: text("benchmark")?,
+                ranks_per_cluster: num("ranks_per_cluster")? as usize,
+            }),
+            "mpi_pattern" => Ok(Workload::MpiPattern {
+                ranks_per_cluster: num("ranks_per_cluster")? as usize,
+                spec: mpisim::patterns::Pattern::from_value(
+                    v.get("spec").ok_or("workload: missing \"spec\"")?,
+                )?,
+            }),
+            "nfs" => Ok(Workload::Nfs {
+                transport: text("transport")?,
+                threads: num("threads")? as usize,
+                file_mib: num("file_mib")?,
+                write: flag("write")?,
+            }),
+            other => Err(format!("unknown workload kind {other:?}")),
+        }
+    }
+}
+
 /// A complete runnable experiment description.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Scenario {
     /// Display name.
     pub name: String,
     /// Deterministic engine seed.
-    #[serde(default = "default_seed")]
     pub seed: u64,
     /// The WAN configuration.
     pub topology: Topology,
@@ -168,7 +331,7 @@ fn default_seed() -> u64 {
 }
 
 /// The scalar outcome of a scenario.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ScenarioResult {
     /// Scenario name.
     pub name: String,
@@ -180,15 +343,77 @@ pub struct ScenarioResult {
     pub unit: String,
 }
 
+impl ScenarioResult {
+    /// Serialize to a JSON value (for `ibwan-sim --json`).
+    pub fn to_value(&self) -> minijson::Value {
+        use minijson::{obj, Value};
+        obj([
+            ("name", Value::from(self.name.clone())),
+            ("metric", Value::from(self.metric.clone())),
+            ("value", Value::Num(self.value)),
+            ("unit", Value::from(self.unit.clone())),
+        ])
+    }
+}
+
 impl Scenario {
-    /// Parse a scenario from JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Parse a scenario from JSON. Missing `seed` defaults to 42; missing
+    /// topology fields default to 0 — the same defaults the original
+    /// serde-derived format accepted.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let v = minijson::Value::parse(json)?;
+        let name = v
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| "scenario: missing \"name\"".to_string())?
+            .to_string();
+        let seed = match v.get("seed") {
+            None => default_seed(),
+            Some(s) => s.as_u64().ok_or_else(|| "scenario: bad seed".to_string())?,
+        };
+        let topo = v
+            .get("topology")
+            .ok_or_else(|| "scenario: missing \"topology\"".to_string())?;
+        let opt_u64 = |obj: &minijson::Value, key: &str| -> Result<u64, String> {
+            match obj.get(key) {
+                None => Ok(0),
+                Some(f) => f
+                    .as_u64()
+                    .ok_or_else(|| format!("scenario: bad field {key:?}")),
+            }
+        };
+        let topology = Topology {
+            delay_us: opt_u64(topo, "delay_us")?,
+            loss_ppm: opt_u64(topo, "loss_ppm")? as u32,
+        };
+        let workload = Workload::from_value(
+            v.get("workload")
+                .ok_or_else(|| "scenario: missing \"workload\"".to_string())?,
+        )?;
+        Ok(Scenario {
+            name,
+            seed,
+            topology,
+            workload,
+        })
     }
 
     /// Serialize to pretty JSON (for `ibwan-sim --example`).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("scenario serializes")
+        use minijson::{obj, Value};
+        obj([
+            ("name", Value::from(self.name.clone())),
+            ("seed", Value::from(self.seed)),
+            (
+                "topology",
+                obj([
+                    ("delay_us", Value::from(self.topology.delay_us)),
+                    ("loss_ppm", Value::from(self.topology.loss_ppm)),
+                ]),
+            ),
+            ("workload", self.workload.to_value()),
+        ])
+        .to_pretty()
     }
 
     /// Run the scenario and return its headline number.

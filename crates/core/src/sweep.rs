@@ -1,9 +1,17 @@
 //! Parallel parameter sweeps: each simulation is single-threaded and
-//! deterministic, so independent configurations fan out across OS threads.
+//! deterministic, so independent configurations fan out across a bounded
+//! worker pool.
 
-/// Map `f` over `inputs` in parallel, preserving order. Uses scoped threads
-/// (one per input, bounded by the OS scheduler — sweep sizes here are tens
-/// of configurations).
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `inputs` in parallel, preserving order.
+///
+/// Runs on a bounded pool of `min(available_parallelism, inputs.len())`
+/// scoped worker threads that self-schedule inputs from a shared index —
+/// large sweeps no longer spawn one OS thread per configuration. Results
+/// come back in input order. If any worker panics, the panic propagates to
+/// the caller (message: "sweep worker panicked") once the scope joins.
 pub fn parallel_map<I, T, F>(inputs: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
@@ -11,19 +19,40 @@ where
     F: Fn(I) -> T + Sync,
 {
     let n = inputs.len();
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(n);
-        for (i, input) in inputs.into_iter().enumerate() {
-            let fref = &f;
-            handles.push((i, s.spawn(move |_| fref(input))));
-        }
-        for (i, h) in handles {
-            out[i] = Some(h.join().expect("sweep worker panicked"));
-        }
-    })
-    .expect("sweep scope");
-    out.into_iter().map(|o| o.expect("missing result")).collect()
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+
+    // Each input slot is claimed exactly once via the shared counter; the
+    // Mutex<Option<I>> wrappers hand inputs to whichever worker claims them.
+    let slots: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let panicked = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let input = slots[i].lock().unwrap().take().expect("slot claimed once");
+                    let out = f(input);
+                    *results[i].lock().unwrap() = Some(out);
+                })
+            })
+            .collect();
+        handles.into_iter().any(|h| h.join().is_err())
+    });
+    assert!(!panicked, "sweep worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("missing result"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -37,8 +66,33 @@ mod tests {
     }
 
     #[test]
+    fn handles_more_inputs_than_workers() {
+        // Far more inputs than any realistic core count: exercises the
+        // self-scheduling loop rather than one-thread-per-input.
+        let out = parallel_map((0..1000).collect(), |x: i32| x + 1);
+        assert_eq!(out, (1..1001).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "sweep worker panicked")]
     fn propagates_panics() {
         parallel_map(vec![1], |_: i32| -> i32 { panic!("boom") });
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn propagates_panics_from_pooled_workers() {
+        parallel_map((0..64).collect(), |x: i32| {
+            if x == 33 {
+                panic!("boom");
+            }
+            x
+        });
     }
 }

@@ -264,6 +264,7 @@ impl Fabric {
         }
         r.nodes = self.nodes.len();
         r.switches = self.switches.len();
+        r.engine_counters = self.engine.counters();
         r
     }
 }
@@ -281,6 +282,8 @@ pub struct FabricReport {
     pub hca_packets_received: u64,
     /// Forwarding operations across all switches.
     pub switch_packets_forwarded: u64,
+    /// Event-engine hot-path counters (allocations, pool hits, queue depth).
+    pub engine_counters: simcore::EngineCounters,
 }
 
 #[cfg(test)]

@@ -3,13 +3,12 @@
 //! node's ULP.
 
 use crate::link::{CreditMsg, EgressPort};
-use crate::packet::PacketMsg;
+use crate::packet::Packet;
 use crate::qp::{Qp, QpConfig, QpOutput, Qpn};
 use crate::types::Lid;
 use crate::ulp::Ulp;
 use crate::verbs::{Completion, RecvWr, SendWr};
-use serde::{Deserialize, Serialize};
-use simcore::{Actor, ActorId, Ctx, Dur, Rate, SerialResource, Time};
+use simcore::{Actor, ActorId, Ctx, Dur, Rate, SerialResource, Time, TimerId};
 use std::any::Any;
 
 /// Timer token reserved for the simulation-start kick that calls
@@ -25,7 +24,7 @@ pub const RETRANSMIT_BASE: u64 = 1 << 60;
 /// Calibrated so that back-to-back RC half-round-trip latency for small
 /// messages lands near the few-microsecond DDR figures of the paper's
 /// testbed, and so the Longbow pair adds its documented ~5 µs.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct HcaConfig {
     /// CPU cost to post one work request (descriptor write + doorbell).
     pub post_overhead: Dur,
@@ -53,6 +52,12 @@ pub struct HcaCore {
     cfg: HcaConfig,
     port: Option<EgressPort>,
     qps: Vec<Qp>,
+    /// Currently armed retransmission timer per QP, so a quiescing QP can
+    /// cancel its stale timer instead of letting it fire as a no-op.
+    rto_timers: Vec<Option<TimerId>>,
+    /// Recycled QP output buffer: capacity persists across packets, so the
+    /// steady-state receive/ACK path allocates nothing.
+    scratch: QpOutput,
     host_cpu: SerialResource,
     packets_sent: u64,
     packets_received: u64,
@@ -66,6 +71,8 @@ impl HcaCore {
             cfg,
             port: None,
             qps: Vec::new(),
+            rto_timers: Vec::new(),
+            scratch: QpOutput::default(),
             host_cpu: SerialResource::new(Rate::INFINITE),
             packets_sent: 0,
             packets_received: 0,
@@ -86,6 +93,7 @@ impl HcaCore {
     pub fn create_qp(&mut self, cfg: QpConfig) -> Qpn {
         let qpn = Qpn(self.qps.len() as u32);
         self.qps.push(Qp::new(qpn, cfg, self.lid));
+        self.rto_timers.push(None);
         qpn
     }
 
@@ -130,26 +138,41 @@ impl HcaCore {
     pub fn post_send_after(&mut self, ctx: &mut Ctx<'_>, qpn: Qpn, wr: SendWr, earliest: Time) {
         let at = earliest.max(ctx.now());
         let (_, ready) = self.host_cpu.reserve_dur(at, self.cfg.post_overhead);
-        let mut out = QpOutput::default();
+        let mut out = std::mem::take(&mut self.scratch);
         self.qps[qpn.0 as usize].post_send(wr, &mut out);
         self.arm_if_requested(ctx, qpn, &out);
-        self.flush(ctx, ready, out);
+        self.flush(ctx, ready, &mut out);
+        out.reset();
+        self.scratch = out;
     }
 
     fn arm_if_requested(&mut self, ctx: &mut Ctx<'_>, qpn: Qpn, out: &QpOutput) {
+        debug_assert!(
+            !(out.arm_retransmit && out.disarm_retransmit),
+            "a QP cannot arm and disarm in the same output"
+        );
         if out.arm_retransmit {
             let rto = self.qps[qpn.0 as usize].config().rto;
-            ctx.timer(rto, RETRANSMIT_BASE + qpn.0 as u64);
+            let id = ctx.timer_cancellable(rto, RETRANSMIT_BASE + qpn.0 as u64);
+            self.rto_timers[qpn.0 as usize] = Some(id);
+        }
+        if out.disarm_retransmit {
+            if let Some(id) = self.rto_timers[qpn.0 as usize].take() {
+                ctx.cancel_timer(id);
+            }
         }
     }
 
     /// A per-QP retransmission timer fired (routed by [`HcaActor`]).
     pub fn on_retransmit_timer(&mut self, ctx: &mut Ctx<'_>, qpn: Qpn) {
-        let mut out = QpOutput::default();
+        self.rto_timers[qpn.0 as usize] = None; // it just fired
+        let mut out = std::mem::take(&mut self.scratch);
         self.qps[qpn.0 as usize].on_retransmit_timer(&mut out);
         self.arm_if_requested(ctx, qpn, &out);
         let now = ctx.now();
-        self.flush(ctx, now, out);
+        self.flush(ctx, now, &mut out);
+        out.reset();
+        self.scratch = out;
     }
 
     /// Post a receive WQE (no wire effect; negligible cost).
@@ -159,25 +182,25 @@ impl HcaCore {
 
     /// Put QP outputs on the wire / completion path. `ready` is the earliest
     /// instant the packets may start serializing.
-    fn flush(&mut self, ctx: &mut Ctx<'_>, ready: Time, out: QpOutput) {
+    fn flush(&mut self, ctx: &mut Ctx<'_>, ready: Time, out: &mut QpOutput) {
         let port = self
             .port
             .as_mut()
             .expect("HCA port not wired — did you call FabricBuilder::finish?");
-        for pkt in out.packets {
+        for pkt in out.packets.drain(..) {
             self.packets_sent += 1;
             if let Some((arrival, pkt)) = port.transmit(ready, pkt) {
-                ctx.send_at(port.peer, Box::new(PacketMsg(pkt)), arrival);
+                ctx.send_at(port.peer, pkt, arrival);
             }
         }
-        for c in out.completions {
+        for c in out.completions.drain(..) {
             ctx.send(ctx.self_id(), Box::new(CompletionDelivery(c)), self.cfg.cq_latency);
         }
         if !out.tx_completions.is_empty() {
             // Wire-out completions (UD sends): valid once this flush's
             // packets have finished serializing.
             let tx_end = port.next_free().max(ctx.now());
-            for c in out.tx_completions {
+            for c in out.tx_completions.drain(..) {
                 ctx.send_at(
                     ctx.self_id(),
                     Box::new(CompletionDelivery(c)),
@@ -188,7 +211,7 @@ impl HcaCore {
     }
 
     /// Handle a packet arriving from the wire.
-    fn handle_packet(&mut self, ctx: &mut Ctx<'_>, pkt: crate::packet::Packet) {
+    fn handle_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
         self.packets_received += 1;
         debug_assert_eq!(pkt.dst_lid, self.lid, "packet routed to wrong HCA");
         let qpn = pkt.dst_qpn;
@@ -196,7 +219,7 @@ impl HcaCore {
             pkt.opcode,
             crate::packet::Opcode::UdSend | crate::packet::Opcode::RcSend { .. }
         );
-        let mut out = QpOutput::default();
+        let mut out = std::mem::take(&mut self.scratch);
         self.qps[qpn.0 as usize].on_packet(pkt, &mut out);
         self.arm_if_requested(ctx, qpn, &out);
         // ACKs / read responses leave immediately (hardware path, no host).
@@ -212,13 +235,13 @@ impl HcaCore {
             let latency = port.config().latency;
             ctx.send(port.peer, Box::new(CreditMsg), latency);
         }
-        for p in out.packets {
+        for p in out.packets.drain(..) {
             self.packets_sent += 1;
             if let Some((arrival, p)) = port.transmit(now, p) {
-                ctx.send_at(port.peer, Box::new(PacketMsg(p)), arrival);
+                ctx.send_at(port.peer, p, arrival);
             }
         }
-        for c in out.completions {
+        for c in out.completions.drain(..) {
             ctx.send(
                 ctx.self_id(),
                 Box::new(CompletionDelivery(c)),
@@ -229,6 +252,8 @@ impl HcaCore {
             out.tx_completions.is_empty(),
             "wire-out completions only arise from posting"
         );
+        out.reset();
+        self.scratch = out;
     }
 
     /// A link-level credit came back from the neighbor: release a queued
@@ -236,7 +261,7 @@ impl HcaCore {
     fn handle_credit(&mut self, ctx: &mut Ctx<'_>) {
         let port = self.port.as_mut().expect("HCA port not wired");
         if let Some((arrival, pkt)) = port.credit_returned(ctx.now()) {
-            ctx.send_at(port.peer, Box::new(PacketMsg(pkt)), arrival);
+            ctx.send_at(port.peer, pkt, arrival);
         }
     }
 
@@ -291,15 +316,16 @@ impl HcaActor {
 }
 
 impl Actor for HcaActor {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, pkt: Packet) {
+        self.core.handle_packet(ctx, pkt);
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Box<dyn Any>) {
-        match msg.downcast::<PacketMsg>() {
-            Ok(pm) => self.core.handle_packet(ctx, pm.0),
-            Err(msg) => match msg.downcast::<CompletionDelivery>() {
-                Ok(cd) => self.ulp.on_completion(&mut self.core, ctx, cd.0),
-                Err(msg) => match msg.downcast::<CreditMsg>() {
-                    Ok(_) => self.core.handle_credit(ctx),
-                    Err(msg) => self.ulp.on_user(&mut self.core, ctx, from, msg),
-                },
+        match msg.downcast::<CompletionDelivery>() {
+            Ok(cd) => self.ulp.on_completion(&mut self.core, ctx, cd.0),
+            Err(msg) => match msg.downcast::<CreditMsg>() {
+                Ok(_) => self.core.handle_credit(ctx),
+                Err(msg) => self.ulp.on_user(&mut self.core, ctx, from, msg),
             },
         }
     }

@@ -11,7 +11,6 @@
 //! [`LinkConfig::credit_packets`] to study shallow-buffer behaviour.
 
 use crate::packet::Packet;
-use serde::{Deserialize, Serialize};
 use simcore::{ActorId, Dur, Rate, SerialResource, Time};
 use std::collections::VecDeque;
 
@@ -20,7 +19,7 @@ use std::collections::VecDeque;
 pub struct CreditMsg;
 
 /// Static link parameters.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct LinkConfig {
     /// Serialization rate of the link (data rate).
     pub rate: Rate,

@@ -1,155 +1,10 @@
 //! The wire unit forwarded between fabric actors (HCAs, switches, Longbows).
+//!
+//! The packet types live in the `ibwire` leaf crate so the simulation
+//! engine's typed packet lane ([`simcore::Msg::Packet`]) can carry them by
+//! value; they are re-exported here under their original paths. Fabric
+//! actors receive packets through [`simcore::Actor::on_packet`] and put them
+//! back on the wire with `ctx.send_at(peer, pkt, arrival)` — no boxing, no
+//! downcasting.
 
-use crate::qp::Qpn;
-use crate::types::{Lid, ACK_BYTES, RC_HEADER_BYTES, READ_REQ_BYTES, UD_HEADER_BYTES};
-use bytes::Bytes;
-
-/// InfiniBand base-transport opcodes, reduced to what the model needs.
-///
-/// Multi-packet messages use `First`/`Middle`/`Last` segmentation exactly like
-/// the real BTH opcodes; single-packet messages use `Only`.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum Opcode {
-    /// RC Send fragment. `position` tells reassembly where it falls.
-    RcSend { position: Position },
-    /// RC RDMA Write fragment (no receive WQE consumed unless `imm`).
-    RcWrite { position: Position },
-    /// RC RDMA Read request; `len` to read is in `msg_len`.
-    RcReadRequest,
-    /// RC RDMA Read response fragment streamed by the responder.
-    RcReadResponse { position: Position },
-    /// RC acknowledgement for every byte of message `msg_id`.
-    RcAck,
-    /// Single-packet unreliable datagram.
-    UdSend,
-}
-
-/// Position of a fragment within its message.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum Position {
-    /// The only packet of a single-packet message.
-    Only,
-    /// First of several.
-    First,
-    /// Interior packet.
-    Middle,
-    /// Final packet — triggers reassembly completion and (RC) the ACK.
-    Last,
-}
-
-impl Position {
-    /// Whether this fragment completes its message.
-    pub fn is_last(self) -> bool {
-        matches!(self, Position::Only | Position::Last)
-    }
-    /// Whether this fragment starts a message.
-    pub fn is_first(self) -> bool {
-        matches!(self, Position::Only | Position::First)
-    }
-
-    /// Compute the position for fragment `idx` out of `count`.
-    pub fn of(idx: u32, count: u32) -> Position {
-        match (idx, count) {
-            (_, 1) => Position::Only,
-            (0, _) => Position::First,
-            (i, c) if i + 1 == c => Position::Last,
-            _ => Position::Middle,
-        }
-    }
-}
-
-/// A packet in flight on the fabric.
-///
-/// Payload contents are not simulated — only sizes — except for an optional
-/// inline `data` fragment used by integrity property tests.
-#[derive(Clone, Debug)]
-pub struct Packet {
-    /// Destination port LID (what switches route on).
-    pub dst_lid: Lid,
-    /// Source port LID.
-    pub src_lid: Lid,
-    /// Destination QP number.
-    pub dst_qpn: Qpn,
-    /// Source QP number.
-    pub src_qpn: Qpn,
-    /// Transport opcode.
-    pub opcode: Opcode,
-    /// Packet sequence number within the sending QP.
-    pub psn: u32,
-    /// Payload bytes carried by this fragment.
-    pub payload: u32,
-    /// Identity of the message this fragment belongs to (sender-assigned).
-    pub msg_id: u64,
-    /// Total length of the message this fragment belongs to.
-    pub msg_len: u32,
-    /// Byte offset of this fragment within its message.
-    pub offset: u32,
-    /// Immediate value / user tag delivered with the message (ULPs use this
-    /// as a small header; `u64::MAX` means "none" for RDMA writes, which then
-    /// complete silently at the responder).
-    pub imm: u64,
-    /// Optional inline payload for data-integrity tests.
-    pub data: Option<Bytes>,
-}
-
-impl Packet {
-    /// Total wire size of this packet (payload + per-transport overhead).
-    pub fn wire_bytes(&self) -> u64 {
-        let header = match self.opcode {
-            Opcode::RcSend { .. } | Opcode::RcWrite { .. } | Opcode::RcReadResponse { .. } => {
-                RC_HEADER_BYTES
-            }
-            Opcode::RcAck => ACK_BYTES,
-            Opcode::RcReadRequest => READ_REQ_BYTES,
-            Opcode::UdSend => UD_HEADER_BYTES,
-        };
-        header + self.payload as u64
-    }
-}
-
-/// The engine message wrapping a packet between fabric actors.
-pub struct PacketMsg(pub Packet);
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn pkt(opcode: Opcode, payload: u32) -> Packet {
-        Packet {
-            dst_lid: Lid(2),
-            src_lid: Lid(1),
-            dst_qpn: Qpn(1),
-            src_qpn: Qpn(1),
-            opcode,
-            psn: 0,
-            payload,
-            msg_id: 0,
-            msg_len: payload,
-            offset: 0,
-            imm: 0,
-            data: None,
-        }
-    }
-
-    #[test]
-    fn positions() {
-        assert_eq!(Position::of(0, 1), Position::Only);
-        assert_eq!(Position::of(0, 3), Position::First);
-        assert_eq!(Position::of(1, 3), Position::Middle);
-        assert_eq!(Position::of(2, 3), Position::Last);
-        assert!(Position::Only.is_last() && Position::Only.is_first());
-        assert!(Position::Last.is_last() && !Position::Last.is_first());
-        assert!(!Position::Middle.is_last() && !Position::Middle.is_first());
-    }
-
-    #[test]
-    fn wire_sizes() {
-        assert_eq!(
-            pkt(Opcode::RcSend { position: Position::Only }, 2048).wire_bytes(),
-            2048 + RC_HEADER_BYTES
-        );
-        assert_eq!(pkt(Opcode::UdSend, 2048).wire_bytes(), 2048 + UD_HEADER_BYTES);
-        assert_eq!(pkt(Opcode::RcAck, 0).wire_bytes(), ACK_BYTES);
-        assert_eq!(pkt(Opcode::RcReadRequest, 0).wire_bytes(), READ_REQ_BYTES);
-    }
-}
+pub use ibwire::{Opcode, Packet, Position};

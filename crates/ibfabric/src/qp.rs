@@ -23,25 +23,15 @@ use crate::verbs::{Completion, RecvWr, SendKind, SendWr};
 use bytes::BytesMut;
 #[cfg(test)]
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 use simcore::Dur;
 use std::collections::VecDeque;
-use std::fmt;
 
-/// Queue-pair number, unique within an HCA.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct Qpn(pub u32);
-
-impl fmt::Debug for Qpn {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qp{}", self.0)
-    }
-}
+pub use ibwire::Qpn;
 
 /// Queue-pair state, following the verbs connection state machine
 /// (`ibv_modify_qp`): receives may be posted from `Init`, packets are
 /// accepted from `Rtr`, and sends may be posted only in `Rts`.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum QpState {
     /// Freshly created (RC starts here).
     Init,
@@ -52,7 +42,7 @@ pub enum QpState {
 }
 
 /// IB transport service type.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum TransportType {
     /// Reliable Connected: ordered, ACKed, windowed, messages up to 2 GB.
     Rc,
@@ -61,7 +51,7 @@ pub enum TransportType {
 }
 
 /// Static QP parameters.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct QpConfig {
     /// Transport service.
     pub transport: TransportType,
@@ -143,6 +133,23 @@ pub struct QpOutput {
     pub tx_completions: Vec<Completion>,
     /// The HCA must (re-)arm this QP's retransmission timer.
     pub arm_retransmit: bool,
+    /// The send pipeline quiesced (nothing un-ACKed remains): the HCA should
+    /// cancel the armed retransmission timer instead of letting it fire as a
+    /// stale no-op.
+    pub disarm_retransmit: bool,
+}
+
+impl QpOutput {
+    /// Clear for reuse, keeping the vectors' capacity. The HCA drives every
+    /// QP through one recycled scratch output so steady-state packet
+    /// processing performs no per-packet heap allocation.
+    pub fn reset(&mut self) {
+        self.packets.clear();
+        self.completions.clear();
+        self.tx_completions.clear();
+        self.arm_retransmit = false;
+        self.disarm_retransmit = false;
+    }
 }
 
 struct Assembly {
@@ -439,6 +446,16 @@ impl Qp {
         }
     }
 
+    /// Ask the HCA to cancel the retransmission timer once nothing un-ACKed
+    /// remains (the window is empty, so `pump` has also drained the send
+    /// queue).
+    fn maybe_disarm(&mut self, out: &mut QpOutput) {
+        if self.timer_armed && self.inflight.is_empty() && self.inflight_reads.is_empty() {
+            self.timer_armed = false;
+            out.disarm_retransmit = true;
+        }
+    }
+
     /// The retransmission timer fired. Retransmits every un-ACKed message
     /// (go-back-N) if no ACK progress happened since the last firing.
     pub fn on_retransmit_timer(&mut self, out: &mut QpOutput) {
@@ -676,6 +693,7 @@ impl Qp {
         if progressed {
             self.progress_seq += 1;
             self.pump(out);
+            self.maybe_disarm(out);
         }
         // Stale duplicate ACKs are ignored.
     }
@@ -763,6 +781,7 @@ impl Qp {
                 len: done.wr.len,
             });
             self.pump(out);
+            self.maybe_disarm(out);
         }
     }
 }

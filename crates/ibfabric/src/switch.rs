@@ -2,10 +2,9 @@
 //! forwarding table installed by the subnet manager.
 
 use crate::link::{CreditMsg, EgressPort};
-use crate::packet::PacketMsg;
+use crate::packet::Packet;
 use simcore::{Actor, ActorId, Ctx, Dur};
 use std::any::Any;
-use std::collections::HashMap;
 
 /// A LID-routed switch with per-port egress serialization.
 ///
@@ -15,7 +14,9 @@ use std::collections::HashMap;
 pub struct Switch {
     fwd_latency: Dur,
     ports: Vec<Option<EgressPort>>,
-    routes: HashMap<u16, usize>,
+    /// Forwarding table indexed directly by LID (LIDs are small and dense,
+    /// so a flat table beats hashing on the per-packet path).
+    routes: Vec<Option<usize>>,
     forwarded: u64,
 }
 
@@ -30,7 +31,7 @@ impl Switch {
         Switch {
             fwd_latency,
             ports: Vec::new(),
-            routes: HashMap::new(),
+            routes: Vec::new(),
             forwarded: 0,
         }
     }
@@ -46,7 +47,11 @@ impl Switch {
 
     /// Install a forwarding entry: packets for `lid` leave through `port`.
     pub fn set_route(&mut self, lid: u16, port: usize) {
-        self.routes.insert(lid, port);
+        let i = lid as usize;
+        if self.routes.len() <= i {
+            self.routes.resize(i + 1, None);
+        }
+        self.routes[i] = Some(port);
     }
 
     /// Number of attached ports.
@@ -76,38 +81,20 @@ impl Switch {
 }
 
 impl Actor for Switch {
-    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Box<dyn Any>) {
-        let msg = match msg.downcast::<CreditMsg>() {
-            Ok(_) => {
-                let now = ctx.now();
-                let port = self
-                    .port_to(from)
-                    .expect("credit from an actor on no port");
-                if let Some((arrival, pkt)) = port.credit_returned(now) {
-                    let peer = port.peer;
-                    ctx.send_at(peer, Box::new(PacketMsg(pkt)), arrival);
-                }
-                return;
-            }
-            Err(m) => m,
-        };
-        let pm = msg
-            .downcast::<PacketMsg>()
-            .expect("switch received a non-packet message");
-        let pkt = pm.0;
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: ActorId, pkt: Packet) {
         // Ingress buffer freed once the packet moves to the egress queue:
         // return the link-level credit to the upstream neighbor.
-        let now = ctx.now();
         if let Some(in_port) = self.port_to(from) {
             if in_port.credited() {
                 let latency = in_port.config().latency;
                 ctx.send(from, Box::new(CreditMsg), latency);
             }
         }
-        let _ = now;
-        let port_idx = *self
+        let port_idx = self
             .routes
-            .get(&pkt.dst_lid.0)
+            .get(pkt.dst_lid.0 as usize)
+            .copied()
+            .flatten()
             .unwrap_or_else(|| panic!("no route for {:?}", pkt.dst_lid));
         let port = self.ports[port_idx]
             .as_mut()
@@ -116,7 +103,20 @@ impl Actor for Switch {
         let ready = ctx.now() + self.fwd_latency;
         if let Some((arrival, pkt)) = port.transmit(ready, pkt) {
             let peer = port.peer;
-            ctx.send_at(peer, Box::new(PacketMsg(pkt)), arrival);
+            ctx.send_at(peer, pkt, arrival);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Box<dyn Any>) {
+        msg.downcast::<CreditMsg>()
+            .expect("switch received an unexpected control message");
+        let now = ctx.now();
+        let port = self
+            .port_to(from)
+            .expect("credit from an actor on no port");
+        if let Some((arrival, pkt)) = port.credit_returned(now) {
+            let peer = port.peer;
+            ctx.send_at(peer, pkt, arrival);
         }
     }
 }
@@ -135,8 +135,10 @@ mod tests {
         arrivals: Vec<Time>,
     }
     impl Actor for Sink {
-        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, msg: Box<dyn Any>) {
-            assert!(msg.downcast::<PacketMsg>().is_ok());
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: ActorId, _msg: Box<dyn Any>) {
+            panic!("sink expects packets on the packet lane");
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, _pkt: Packet) {
             self.arrivals.push(ctx.now());
         }
     }
@@ -176,7 +178,7 @@ mod tests {
         );
         sw.set_route(5, 0);
         let swid = e.add_actor(Box::new(sw));
-        e.schedule_message(Time::ZERO, swid, swid, Box::new(PacketMsg(test_packet(5, 930))));
+        e.schedule_message(Time::ZERO, swid, swid, test_packet(5, 930));
         e.run();
         // 200ns fwd + (930+70)ns serialization + 100ns propagation = 1300ns.
         assert_eq!(e.actor::<Sink>(sink).arrivals, vec![Time::from_ns(1300)]);
@@ -189,7 +191,7 @@ mod tests {
         let mut e = Engine::new(1);
         let sw = Switch::new();
         let swid = e.add_actor(Box::new(sw));
-        e.schedule_message(Time::ZERO, swid, swid, Box::new(PacketMsg(test_packet(9, 1))));
+        e.schedule_message(Time::ZERO, swid, swid, test_packet(9, 1));
         e.run();
     }
 }

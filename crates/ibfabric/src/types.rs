@@ -1,59 +1,7 @@
 //! Basic InfiniBand identifiers and wire constants.
+//!
+//! These live in the `ibwire` leaf crate (so the engine's typed packet lane
+//! can reference them without depending on the fabric model) and are
+//! re-exported here under their original paths.
 
-use serde::{Deserialize, Serialize};
-use std::fmt;
-
-/// A Local IDentifier assigned by the subnet manager to every end port.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct Lid(pub u16);
-
-impl fmt::Debug for Lid {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lid{}", self.0)
-    }
-}
-impl fmt::Display for Lid {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
-    }
-}
-
-/// Wire overhead per RC packet: LRH (8) + BTH (12) + iCRC/vCRC (6) and
-/// framing — calibrated so a 2 KB-MTU RC stream peaks at ~980 MB/s over the
-/// 8 Gb/s (1000 MB/s) SDR WAN link, matching Section 3.2.2 of the paper.
-pub const RC_HEADER_BYTES: u64 = 42;
-
-/// Wire overhead per UD packet: LRH + GRH (40) + BTH + DETH (8) + CRCs —
-/// calibrated so a 2 KB UD stream peaks at ~967 MB/s over SDR, matching the
-/// paper's reported verbs-level UD peak.
-pub const UD_HEADER_BYTES: u64 = 70;
-
-/// Size of an ACK / control packet on the wire (header-only packet).
-pub const ACK_BYTES: u64 = 30;
-
-/// Size of an RDMA-read request packet on the wire.
-pub const READ_REQ_BYTES: u64 = 46;
-
-/// Default InfiniBand path MTU used throughout (2048-byte payload), matching
-/// the 2 KB MTU of the paper's testbed HCAs.
-pub const DEFAULT_MTU: u32 = 2048;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn lid_display() {
-        assert_eq!(format!("{}", Lid(7)), "7");
-        assert_eq!(format!("{:?}", Lid(7)), "lid7");
-    }
-
-    #[test]
-    fn header_calibration_matches_paper_peaks() {
-        // SDR carries 1000 MB/s of wire bytes; goodput = payload fraction.
-        let rc_goodput = 1000.0 * 2048.0 / (2048.0 + RC_HEADER_BYTES as f64);
-        let ud_goodput = 1000.0 * 2048.0 / (2048.0 + UD_HEADER_BYTES as f64);
-        assert!((rc_goodput - 980.0).abs() < 2.0, "rc {rc_goodput}");
-        assert!((ud_goodput - 967.0).abs() < 2.0, "ud {ud_goodput}");
-    }
-}
+pub use ibwire::{ACK_BYTES, DEFAULT_MTU, Lid, RC_HEADER_BYTES, READ_REQ_BYTES, UD_HEADER_BYTES};

@@ -6,12 +6,11 @@ use ibfabric::hca::HcaCore;
 use ibfabric::qp::QpConfig;
 use ibfabric::ulp::Ulp;
 use ibfabric::verbs::Completion;
-use serde::{Deserialize, Serialize};
 use simcore::{Ctx, Dur, Rate, Time, TimeSeries};
 use tcpstack::TcpConfig;
 
 /// Which IB transport carries the IP packets.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum IpoibMode {
     /// Datagram mode over UD: 2 KB MTU, no transport window.
     Ud,
@@ -20,7 +19,7 @@ pub enum IpoibMode {
 }
 
 /// IPoIB device parameters.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct IpoibConfig {
     /// Transport mode.
     pub mode: IpoibMode,

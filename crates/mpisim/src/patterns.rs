@@ -8,12 +8,10 @@
 
 use crate::coll::{self, TagAlloc};
 use crate::script::Op;
-use serde::{Deserialize, Serialize};
 use simcore::Dur;
 
 /// A parameterized SPMD communication pattern.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-#[serde(tag = "pattern", rename_all = "snake_case")]
+#[derive(Clone, Debug)]
 pub enum Pattern {
     /// 2-D nearest-neighbor halo exchange on a `rows x cols` process grid
     /// (stencil codes: WRF-like weather, CFD).
@@ -80,6 +78,82 @@ impl Pattern {
         match self {
             Pattern::Halo2d { rows, cols, .. } => Some(rows * cols),
             _ => None,
+        }
+    }
+
+    /// Serialize to a JSON value: `{"pattern": "<name>", ...fields}` — the
+    /// internally-tagged layout scenario files use.
+    pub fn to_value(&self) -> minijson::Value {
+        use minijson::{obj, Value};
+        match *self {
+            Pattern::Halo2d { rows, cols, face_bytes, iters, compute_us } => obj([
+                ("pattern", Value::from("halo2d")),
+                ("rows", Value::from(rows)),
+                ("cols", Value::from(cols)),
+                ("face_bytes", Value::from(face_bytes)),
+                ("iters", Value::from(iters)),
+                ("compute_us", Value::from(compute_us)),
+            ]),
+            Pattern::MasterWorker { task_bytes, result_bytes, tasks_per_worker, compute_us } => {
+                obj([
+                    ("pattern", Value::from("master_worker")),
+                    ("task_bytes", Value::from(task_bytes)),
+                    ("result_bytes", Value::from(result_bytes)),
+                    ("tasks_per_worker", Value::from(tasks_per_worker)),
+                    ("compute_us", Value::from(compute_us)),
+                ])
+            }
+            Pattern::Ring { block_bytes, iters } => obj([
+                ("pattern", Value::from("ring")),
+                ("block_bytes", Value::from(block_bytes)),
+                ("iters", Value::from(iters)),
+            ]),
+            Pattern::SparseRandom { degree, msg_bytes, supersteps, seed } => obj([
+                ("pattern", Value::from("sparse_random")),
+                ("degree", Value::from(degree)),
+                ("msg_bytes", Value::from(msg_bytes)),
+                ("supersteps", Value::from(supersteps)),
+                ("seed", Value::from(seed)),
+            ]),
+        }
+    }
+
+    /// Parse the tagged JSON layout produced by [`Pattern::to_value`].
+    pub fn from_value(v: &minijson::Value) -> Result<Pattern, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(|f| f.as_u64())
+                .ok_or_else(|| format!("pattern: missing or non-integer field {name:?}"))
+        };
+        let tag = v
+            .get("pattern")
+            .and_then(|t| t.as_str())
+            .ok_or("pattern: missing \"pattern\" tag")?;
+        match tag {
+            "halo2d" => Ok(Pattern::Halo2d {
+                rows: field("rows")? as usize,
+                cols: field("cols")? as usize,
+                face_bytes: field("face_bytes")? as u32,
+                iters: field("iters")? as u32,
+                compute_us: field("compute_us")?,
+            }),
+            "master_worker" => Ok(Pattern::MasterWorker {
+                task_bytes: field("task_bytes")? as u32,
+                result_bytes: field("result_bytes")? as u32,
+                tasks_per_worker: field("tasks_per_worker")? as u32,
+                compute_us: field("compute_us")?,
+            }),
+            "ring" => Ok(Pattern::Ring {
+                block_bytes: field("block_bytes")? as u32,
+                iters: field("iters")? as u32,
+            }),
+            "sparse_random" => Ok(Pattern::SparseRandom {
+                degree: field("degree")? as usize,
+                msg_bytes: field("msg_bytes")? as u32,
+                supersteps: field("supersteps")? as u32,
+                seed: field("seed")?,
+            }),
+            other => Err(format!("unknown pattern kind {other:?}")),
         }
     }
 
@@ -295,8 +369,14 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let p = Pattern::Ring { block_bytes: 100, iters: 2 };
-        let j = serde_json::to_string(&p).unwrap();
-        let back: Pattern = serde_json::from_str(&j).unwrap();
+        let j = p.to_value().to_compact();
+        let back = Pattern::from_value(&minijson::Value::parse(&j).unwrap()).unwrap();
         assert_eq!(back.name(), "ring");
+        match back {
+            Pattern::Ring { block_bytes, iters } => {
+                assert_eq!((block_bytes, iters), (100, 2));
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
     }
 }

@@ -17,7 +17,6 @@ use crate::wire::{MpiWire, BATCH_HEADER_BYTES, BATCH_ITEM_BYTES, CTRL_BYTES, EAG
 use ibfabric::hca::HcaCore;
 use ibfabric::qp::{QpConfig, Qpn};
 use ibfabric::verbs::{Completion, RecvWr, SendWr};
-use serde::{Deserialize, Serialize};
 use simcore::{Ctx, Dur, Rate, SerialResource};
 use std::collections::{HashMap, VecDeque};
 
@@ -39,7 +38,7 @@ pub const TOKEN_COPY: u64 = 10;
 pub const TOKEN_FLUSH: u64 = 11;
 
 /// Small-message coalescing parameters (a paper-proposed WAN optimization).
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct CoalesceConfig {
     /// Only messages up to this size are batched.
     pub max_msg: u32,
@@ -61,7 +60,7 @@ impl Default for CoalesceConfig {
 
 /// Which rendezvous data-movement scheme large messages use — the three
 /// MVAPICH2 designs.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum RndvProtocol {
     /// RTS → CTS → sender RDMA-writes → FIN (zero-copy, default).
     Rput,

@@ -22,7 +22,6 @@
 use mpisim::coll::{self, TagAlloc};
 use mpisim::script::Op;
 use mpisim::world::{JobSpec, MpiJob};
-use serde::{Deserialize, Serialize};
 use simcore::{Dur, Time};
 
 /// Divisor applied to the true class-B data volumes (documented
@@ -41,7 +40,7 @@ pub const DATA_SCALE: u32 = 4;
 pub struct _DoctestAnchor;
 
 /// Which NAS code to run.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum NasBenchmark {
     /// Integer Sort.
     Is,
@@ -81,7 +80,7 @@ impl NasBenchmark {
 }
 
 /// Per-code class-B-shaped parameters (after [`DATA_SCALE`]).
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct NasParams {
     /// Timed iterations.
     pub iterations: u32,
@@ -241,7 +240,7 @@ pub fn program(bench: NasBenchmark, rank: usize, nranks: usize) -> Vec<Op> {
 
 /// The message-size mix a code sends — the paper's Section 3.5 profiling,
 /// which explains each benchmark's WAN tolerance.
-#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default)]
 pub struct SizeProfile {
     /// Fraction of messages under 1 KB.
     pub small: f64,
@@ -273,7 +272,7 @@ pub fn profile(bench: NasBenchmark, ranks_a: usize, ranks_b: usize) -> SizeProfi
 }
 
 /// Result of one NAS run.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct NasResult {
     /// Which code ran.
     pub benchmark: NasBenchmark,

@@ -9,7 +9,6 @@ use ibfabric::qp::QpConfig;
 use ipoib::node::IpoibConfig;
 use ipoib::port::IpoibPort;
 use obsidian::LongbowPair;
-use serde::{Deserialize, Serialize};
 use simcore::Dur;
 use tcpstack::TcpConfig;
 
@@ -17,7 +16,7 @@ use tcpstack::TcpConfig;
 pub const RDMA_QP_WINDOW: usize = 32;
 
 /// Which NFS transport to run.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Transport {
     /// NFS over RPC/RDMA (4 KB chunked RDMA writes).
     Rdma,
@@ -39,7 +38,7 @@ impl Transport {
 }
 
 /// One NFS read-throughput experiment.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct NfsSetup {
     /// Transport under test.
     pub transport: Transport,
@@ -84,7 +83,7 @@ impl NfsSetup {
 }
 
 /// Measured result.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct NfsThroughput {
     /// Read throughput, MillionBytes/s.
     pub mbs: f64,

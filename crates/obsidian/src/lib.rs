@@ -21,9 +21,8 @@
 
 use ibfabric::fabric::{FabricBuilder, PortAttach};
 use ibfabric::link::{CreditMsg, EgressPort, LinkConfig};
-use ibfabric::packet::PacketMsg;
+use ibfabric::packet::Packet;
 use rand::Rng as _;
-use serde::{Deserialize, Serialize};
 use simcore::{Actor, ActorId, Ctx, Dur, Rate};
 use std::any::Any;
 
@@ -39,7 +38,7 @@ pub fn km_for_wire_delay(delay: Dur) -> u64 {
 }
 
 /// Static parameters of one Longbow XR unit.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct LongbowConfig {
     /// Transit latency through one unit (the pair adds ~5 µs total to
     /// small-message latency, per Section 3.2.1).
@@ -116,35 +115,27 @@ impl PortAttach for Longbow {
     }
 }
 
-impl Actor for Longbow {
-    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Box<dyn Any>) {
-        // Identify the ingress side by the sending neighbor; egress is the
-        // other port.
+impl Longbow {
+    /// Ingress side for a message from neighbor `from`; egress is the other
+    /// port.
+    fn ingress_idx(&self, from: ActorId) -> usize {
         let in0 = self.ports[0].as_ref().map(|p| p.peer) == Some(from);
-        let in_idx = if in0 { 0 } else { 1 };
-        let out_idx = 1 - in_idx;
         debug_assert!(
             in0 || self.ports[1].as_ref().map(|p| p.peer) == Some(from),
             "packet from an actor on neither port"
         );
-        let msg = match msg.downcast::<CreditMsg>() {
-            Ok(_) => {
-                let now = ctx.now();
-                let port = self.ports[in_idx]
-                    .as_mut()
-                    .expect("credit on unattached port");
-                if let Some((arrival, pkt)) = port.credit_returned(now) {
-                    let peer = port.peer;
-                    ctx.send_at(peer, Box::new(PacketMsg(pkt)), arrival);
-                }
-                return;
-            }
-            Err(m) => m,
-        };
-        let pm = msg
-            .downcast::<PacketMsg>()
-            .expect("Longbow received a non-packet message");
-        let pkt = pm.0;
+        if in0 {
+            0
+        } else {
+            1
+        }
+    }
+}
+
+impl Actor for Longbow {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: ActorId, pkt: Packet) {
+        let in_idx = self.ingress_idx(from);
+        let out_idx = 1 - in_idx;
         // Deep internal buffers: the ingress credit returns immediately.
         if self.ports[in_idx].as_ref().is_some_and(|p| p.credited()) {
             let latency = self.ports[in_idx].as_ref().unwrap().config().latency;
@@ -163,7 +154,21 @@ impl Actor for Longbow {
         let ready = ctx.now() + self.cfg.transit_latency + self.cfg.injected_delay;
         if let Some((arrival, pkt)) = port.transmit(ready, pkt) {
             let peer = port.peer;
-            ctx.send_at(peer, Box::new(PacketMsg(pkt)), arrival);
+            ctx.send_at(peer, pkt, arrival);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Box<dyn Any>) {
+        msg.downcast::<CreditMsg>()
+            .expect("Longbow received an unexpected control message");
+        let in_idx = self.ingress_idx(from);
+        let now = ctx.now();
+        let port = self.ports[in_idx]
+            .as_mut()
+            .expect("credit on unattached port");
+        if let Some((arrival, pkt)) = port.credit_returned(now) {
+            let peer = port.peer;
+            ctx.send_at(peer, pkt, arrival);
         }
     }
 }

@@ -9,14 +9,13 @@ use ibfabric::link::LinkConfig;
 use ibfabric::perftest::rc_qp_pair;
 use ibfabric::qp::QpConfig;
 use obsidian::LongbowPair;
-use serde::{Deserialize, Serialize};
 use simcore::Dur;
 
 /// RC window on the OSS bulk QPs (Lustre bulk RPCs pipeline deeply).
 pub const PFS_QP_WINDOW: usize = 32;
 
 /// One striped-read experiment.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct PfsSetup {
     /// Number of object storage servers the file stripes over.
     pub stripe_count: usize,
@@ -44,7 +43,7 @@ impl PfsSetup {
 }
 
 /// Measured result.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct PfsThroughput {
     /// Aggregate read throughput, MB/s.
     pub mbs: f64,

@@ -5,12 +5,11 @@ use crate::wire::{SdpWire, BSDH_BYTES, SDP_CTRL_BYTES};
 use ibfabric::hca::HcaCore;
 use ibfabric::qp::Qpn;
 use ibfabric::verbs::{Completion, RecvWr, SendKind, SendWr};
-use serde::{Deserialize, Serialize};
 use simcore::{Ctx, Dur, Rate, SerialResource};
 use std::collections::{HashMap, VecDeque};
 
 /// SDP socket parameters.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct SdpConfig {
     /// Private receive-buffer size (BCopy granularity).
     pub buf_size: u32,

@@ -4,17 +4,123 @@
 //! [`Actor`]s owned by the [`Engine`]. Actors communicate exclusively through
 //! scheduled message deliveries and timers; the engine pops events in strict
 //! `(time, sequence)` order, so simulations are fully deterministic.
+//!
+//! ## The two message lanes
+//!
+//! Fabric traffic dominates event volume: a single large RC message becomes
+//! thousands of MTU fragments, each crossing several hops (HCA → switch →
+//! Longbow → Longbow → switch → HCA), and every hop is one event. The engine
+//! therefore carries messages as a [`Msg`] with two lanes:
+//!
+//! * **Packet lane** — [`Msg::Packet`] holds an [`ibwire::Packet`] *by value*
+//!   inside the pooled event node and dispatches to [`Actor::on_packet`]. No
+//!   allocation, no `dyn Any` downcast per fragment.
+//! * **Control lane** — [`Msg::Ctrl`] is the classic `Box<dyn Any>` for
+//!   everything else (completions, credits, ULP user messages), dispatched to
+//!   [`Actor::on_message`]. Zero-sized control messages (e.g. link credits)
+//!   don't allocate either: `Box::new` of a ZST is allocation-free.
+//!
+//! `Ctx::send`/`Engine::schedule_message` accept `impl Into<Msg>`, so existing
+//! `Box::new(value)` call sites keep working while fabric code passes a bare
+//! `Packet`.
+//!
+//! ## Event pooling
+//!
+//! Event payloads live in a slab (`Vec<Option<EventKind>>` plus a free list);
+//! the binary heap orders only compact 24-byte `(time, seq, index)` keys.
+//! Steady-state simulation allocates nothing per event: nodes are recycled
+//! through the free list ([`EngineCounters::pool_hits`]) and the slab only
+//! grows while the in-flight event population reaches a new high
+//! ([`EngineCounters::events_allocated`]).
+//!
+//! ## Same-timestamp ordering
+//!
+//! Ties in virtual time are broken by a monotonically increasing sequence
+//! number assigned at *scheduling* time: two events at the same instant are
+//! dispatched in the order they were scheduled. In particular, a zero-delay
+//! self-send (`ctx.send(me, msg, Dur::ZERO)`) is delivered **after** every
+//! event already queued for the current instant — effects of one handler
+//! never jump ahead of previously scheduled work. See
+//! `zero_delay_self_send_runs_after_queued_same_time_events` in the tests.
 
 use crate::time::{Dur, Time};
 use crate::trace::{Trace, TraceEvent};
+use ibwire::Packet;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Index of an actor within an [`Engine`].
 pub type ActorId = usize;
+
+/// A message travelling between actors: the typed packet lane or the boxed
+/// control lane. See the [module docs](self) for why the lanes exist.
+pub enum Msg {
+    /// A fabric packet, carried by value (fast path).
+    Packet(Packet),
+    /// Anything else, carried as `Box<dyn Any>` (control path).
+    Ctrl(Box<dyn Any>),
+}
+
+impl Msg {
+    /// Downcast a control-lane message to a concrete type. Packet-lane
+    /// messages and control messages of a different type come back as `Err`.
+    pub fn downcast<T: Any>(self) -> Result<Box<T>, Msg> {
+        match self {
+            Msg::Ctrl(b) => b.downcast::<T>().map_err(Msg::Ctrl),
+            p => Err(p),
+        }
+    }
+
+    /// Extract the packet, if this is a packet-lane message.
+    pub fn into_packet(self) -> Result<Packet, Msg> {
+        match self {
+            Msg::Packet(p) => Ok(p),
+            m => Err(m),
+        }
+    }
+
+    /// True for packet-lane messages.
+    pub fn is_packet(&self) -> bool {
+        matches!(self, Msg::Packet(_))
+    }
+}
+
+impl std::fmt::Debug for Msg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Msg::Packet(p) => f.debug_tuple("Packet").field(p).finish(),
+            Msg::Ctrl(_) => f.write_str("Ctrl(..)"),
+        }
+    }
+}
+
+impl From<Packet> for Msg {
+    fn from(p: Packet) -> Msg {
+        Msg::Packet(p)
+    }
+}
+
+impl From<Box<dyn Any>> for Msg {
+    fn from(b: Box<dyn Any>) -> Msg {
+        Msg::Ctrl(b)
+    }
+}
+
+/// Any concretely-typed box rides the control lane; `Box::new(value)` call
+/// sites convert implicitly. (No overlap with the other impls: `dyn Any` is
+/// unsized and `Packet` converts by value, not boxed.)
+impl<T: Any> From<Box<T>> for Msg {
+    fn from(b: Box<T>) -> Msg {
+        Msg::Ctrl(b)
+    }
+}
+
+/// Handle to a cancellable timer armed via [`Ctx::timer_cancellable`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
 
 /// A simulation entity driven by messages and timers.
 ///
@@ -22,8 +128,17 @@ pub type ActorId = usize;
 /// hand back concrete types via [`Engine::actor_mut`] during setup and result
 /// collection.
 pub trait Actor: Any {
-    /// Deliver a message sent by `from`.
+    /// Deliver a control-lane message sent by `from`.
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Box<dyn Any>);
+
+    /// Deliver a packet-lane message sent by `from`.
+    ///
+    /// Only fabric entities (HCAs, switches, bridges) receive packets; the
+    /// default implementation treats a packet arriving anywhere else as a
+    /// wiring bug.
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _from: ActorId, _pkt: Packet) {
+        panic!("actor received a fabric packet but does not handle the packet lane");
+    }
 
     /// A timer armed via [`Ctx::timer`] has fired. `token` is the value the
     /// actor supplied when arming it.
@@ -34,63 +149,150 @@ enum EventKind {
     Message {
         from: ActorId,
         to: ActorId,
-        msg: Box<dyn Any>,
+        msg: Msg,
     },
     Timer {
         actor: ActorId,
         token: u64,
+        /// `Some` for cancellable timers; checked against the tombstone set
+        /// when popped.
+        cancel_id: Option<TimerId>,
     },
 }
 
-struct Scheduled {
-    at: Time,
-    seq: u64,
-    kind: EventKind,
+/// Compact heap entry: the event payload lives in the slab at `idx`, so heap
+/// sift operations move 24 bytes instead of a full event node. `(time, seq)`
+/// is packed into one `u128` so each sift comparison is a single wide
+/// integer compare.
+struct HeapKey {
+    /// `(at.as_ns() << 64) | seq` — orders by time, then scheduling order.
+    order: u128,
+    idx: u32,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl HeapKey {
+    #[inline]
+    fn new(at: Time, seq: u64, idx: u32) -> Self {
+        HeapKey {
+            order: ((at.as_ns() as u128) << 64) | seq as u128,
+            idx,
+        }
+    }
+
+    #[inline]
+    fn at(&self) -> Time {
+        Time::from_ns((self.order >> 64) as u64)
     }
 }
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
+
+impl PartialEq for HeapKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.order == other.order
+    }
+}
+impl Eq for HeapKey {}
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Scheduled {
+impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        self.order.cmp(&other.order)
     }
 }
 
-enum Pending {
-    Message {
-        at: Time,
-        from: ActorId,
-        to: ActorId,
-        msg: Box<dyn Any>,
-    },
-    Timer {
-        at: Time,
-        actor: ActorId,
-        token: u64,
-    },
+/// Hot-path health counters maintained by the engine.
+///
+/// All fields are integers so reports embedding this struct can stay `Eq`
+/// (and thus usable in exact-equality determinism tests); the derived ratio
+/// is exposed as [`EngineCounters::pool_hit_rate`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Events dispatched to actors (cancelled timers are not dispatched and
+    /// are excluded).
+    pub events_processed: u64,
+    /// Event nodes that required a fresh heap allocation (slab growth). In
+    /// steady state this should plateau while `pool_hits` keeps climbing.
+    pub events_allocated: u64,
+    /// Event nodes recycled from the free pool instead of allocated.
+    pub pool_hits: u64,
+    /// High-water mark of the event queue length.
+    pub peak_queue_len: u64,
+    /// Timers that were cancelled before firing and skipped on pop.
+    pub timers_cancelled: u64,
+}
+
+impl EngineCounters {
+    /// Fraction of event-node acquisitions served from the pool,
+    /// `pool_hits / (pool_hits + events_allocated)`. Zero when nothing was
+    /// scheduled.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.events_allocated;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Everything the engine owns except the actor table and trace, grouped so
+/// [`Ctx`] can borrow it whole while one actor is borrowed out of the table
+/// (disjoint struct fields split-borrow cleanly).
+struct Core {
+    seq: u64,
+    /// Min-ordered (via `Reverse`) compact keys; payloads live in `nodes`.
+    queue: BinaryHeap<Reverse<HeapKey>>,
+    /// Slab of event payloads, indexed by `HeapKey::idx`.
+    nodes: Vec<Option<EventKind>>,
+    /// Recycled slab indices.
+    free: Vec<u32>,
+    rng: SmallRng,
+    stop: bool,
+    next_timer_id: u64,
+    /// Tombstones for cancelled-but-not-yet-popped timers.
+    cancelled: HashSet<u64>,
+    counters: EngineCounters,
+}
+
+impl Core {
+    /// Acquire a slab slot for `kind` — from the free pool when possible —
+    /// and push its compact key onto the heap.
+    #[inline]
+    fn push_event(&mut self, at: Time, kind: EventKind) {
+        let idx = if let Some(idx) = self.free.pop() {
+            self.counters.pool_hits += 1;
+            debug_assert!(self.nodes[idx as usize].is_none(), "free-list slot in use");
+            self.nodes[idx as usize] = Some(kind);
+            idx
+        } else {
+            self.counters.events_allocated += 1;
+            let idx = u32::try_from(self.nodes.len()).expect("event slab overflow");
+            self.nodes.push(Some(kind));
+            idx
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(HeapKey::new(at, seq, idx)));
+        let len = self.queue.len() as u64;
+        if len > self.counters.peak_queue_len {
+            self.counters.peak_queue_len = len;
+        }
+    }
 }
 
 /// Handle given to an actor while it processes an event.
 ///
 /// All side effects an actor can have on the simulation flow through this
-/// context: sending messages, arming timers, and requesting a halt. Effects
-/// are buffered and applied by the engine after the handler returns, which
-/// keeps dispatch free of re-entrancy.
+/// context: sending messages, arming timers, and requesting a halt. Scheduled
+/// events go straight into the pooled event queue — sequence numbers are
+/// assigned at scheduling time, so same-instant ordering follows emission
+/// order (see the [module docs](self)).
 pub struct Ctx<'a> {
     now: Time,
     self_id: ActorId,
-    pending: &'a mut Vec<Pending>,
-    rng: &'a mut SmallRng,
-    stop: &'a mut bool,
+    core: &'a mut Core,
 }
 
 impl Ctx<'_> {
@@ -105,7 +307,11 @@ impl Ctx<'_> {
     }
 
     /// Schedule `msg` for delivery to `to` after `delay`.
-    pub fn send(&mut self, to: ActorId, msg: Box<dyn Any>, delay: Dur) {
+    ///
+    /// With `delay == Dur::ZERO` the message is delivered at the current
+    /// instant, but **after** every event already queued for this instant
+    /// (ties break in scheduling order).
+    pub fn send(&mut self, to: ActorId, msg: impl Into<Msg>, delay: Dur) {
         self.send_at(to, msg, self.now + delay);
     }
 
@@ -113,14 +319,17 @@ impl Ctx<'_> {
     ///
     /// `at` must not be in the past; scheduling "now" is allowed and the
     /// message is delivered after all effects of the current event settle.
-    pub fn send_at(&mut self, to: ActorId, msg: Box<dyn Any>, at: Time) {
+    #[inline]
+    pub fn send_at(&mut self, to: ActorId, msg: impl Into<Msg>, at: Time) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
-        self.pending.push(Pending::Message {
+        self.core.push_event(
             at,
-            from: self.self_id,
-            to,
-            msg,
-        });
+            EventKind::Message {
+                from: self.self_id,
+                to,
+                msg: msg.into(),
+            },
+        );
     }
 
     /// Arm a timer on the current actor that fires after `delay` with `token`.
@@ -131,21 +340,52 @@ impl Ctx<'_> {
     /// Arm a timer on the current actor at absolute time `at` with `token`.
     pub fn timer_at(&mut self, at: Time, token: u64) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
-        self.pending.push(Pending::Timer {
+        self.core.push_event(
             at,
-            actor: self.self_id,
-            token,
-        });
+            EventKind::Timer {
+                actor: self.self_id,
+                token,
+                cancel_id: None,
+            },
+        );
+    }
+
+    /// Arm a cancellable timer on the current actor; the returned [`TimerId`]
+    /// can be passed to [`Ctx::cancel_timer`] before the timer fires.
+    pub fn timer_cancellable(&mut self, delay: Dur, token: u64) -> TimerId {
+        let at = self.now + delay;
+        let id = TimerId(self.core.next_timer_id);
+        self.core.next_timer_id += 1;
+        self.core.push_event(
+            at,
+            EventKind::Timer {
+                actor: self.self_id,
+                token,
+                cancel_id: Some(id),
+            },
+        );
+        id
+    }
+
+    /// Cancel a timer armed with [`Ctx::timer_cancellable`].
+    ///
+    /// The timer's queue entry is skipped when popped: it is not dispatched,
+    /// not traced, and not counted in `events_processed` (it shows up in
+    /// [`EngineCounters::timers_cancelled`] instead). Cancelling a timer that
+    /// has already fired leaves a permanent tombstone — only cancel timers
+    /// you know are still armed.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancelled.insert(id.0);
     }
 
     /// Deterministic random generator shared by the whole simulation.
     pub fn rng(&mut self) -> &mut SmallRng {
-        self.rng
+        &mut self.core.rng
     }
 
     /// Ask the engine to stop after the current event is fully processed.
     pub fn stop(&mut self) {
-        *self.stop = true;
+        self.core.stop = true;
     }
 }
 
@@ -153,13 +393,8 @@ impl Ctx<'_> {
 /// and the seeded random generator.
 pub struct Engine {
     now: Time,
-    seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
-    actors: Vec<Option<Box<dyn Actor>>>,
-    pending: Vec<Pending>,
-    rng: SmallRng,
-    stop: bool,
-    events_processed: u64,
+    actors: Vec<Box<dyn Actor>>,
+    core: Core,
     /// Safety valve against runaway protocol loops in tests.
     event_limit: u64,
     trace: Option<Trace>,
@@ -170,13 +405,18 @@ impl Engine {
     pub fn new(seed: u64) -> Self {
         Engine {
             now: Time::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
             actors: Vec::new(),
-            pending: Vec::new(),
-            rng: SmallRng::seed_from_u64(seed),
-            stop: false,
-            events_processed: 0,
+            core: Core {
+                seq: 0,
+                queue: BinaryHeap::new(),
+                nodes: Vec::new(),
+                free: Vec::new(),
+                rng: SmallRng::seed_from_u64(seed),
+                stop: false,
+                next_timer_id: 0,
+                cancelled: HashSet::new(),
+                counters: EngineCounters::default(),
+            },
             event_limit: u64::MAX,
             trace: None,
         }
@@ -205,7 +445,7 @@ impl Engine {
 
     /// Register an actor and return its id.
     pub fn add_actor(&mut self, actor: Box<dyn Actor>) -> ActorId {
-        self.actors.push(Some(actor));
+        self.actors.push(actor);
         self.actors.len() - 1
     }
 
@@ -217,13 +457,9 @@ impl Engine {
     /// Mutable access to a concrete actor, for setup and result collection.
     ///
     /// # Panics
-    /// Panics if `id` is out of range, the actor is currently being
-    /// dispatched, or the concrete type does not match.
+    /// Panics if `id` is out of range or the concrete type does not match.
     pub fn actor_mut<T: Actor>(&mut self, id: ActorId) -> &mut T {
-        let slot = self.actors[id]
-            .as_mut()
-            .expect("actor is currently dispatched");
-        let any: &mut dyn Any = &mut **slot;
+        let any: &mut dyn Any = &mut *self.actors[id];
         any.downcast_mut::<T>().expect("actor type mismatch")
     }
 
@@ -232,10 +468,7 @@ impl Engine {
     /// # Panics
     /// Same conditions as [`Engine::actor_mut`].
     pub fn actor<T: Actor>(&self, id: ActorId) -> &T {
-        let slot = self.actors[id]
-            .as_ref()
-            .expect("actor is currently dispatched");
-        let any: &dyn Any = &**slot;
+        let any: &dyn Any = &*self.actors[id];
         any.downcast_ref::<T>().expect("actor type mismatch")
     }
 
@@ -246,99 +479,116 @@ impl Engine {
 
     /// Total events dispatched so far.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.core.counters.events_processed
+    }
+
+    /// Snapshot of the engine's hot-path counters.
+    pub fn counters(&self) -> EngineCounters {
+        self.core.counters
     }
 
     /// Schedule a message delivery from outside any actor (driver code).
-    pub fn schedule_message(&mut self, at: Time, from: ActorId, to: ActorId, msg: Box<dyn Any>) {
+    pub fn schedule_message(
+        &mut self,
+        at: Time,
+        from: ActorId,
+        to: ActorId,
+        msg: impl Into<Msg>,
+    ) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
-        let seq = self.next_seq();
-        self.queue.push(Reverse(Scheduled {
+        self.core.push_event(
             at,
-            seq,
-            kind: EventKind::Message { from, to, msg },
-        }));
+            EventKind::Message {
+                from,
+                to,
+                msg: msg.into(),
+            },
+        );
     }
 
     /// Schedule a timer on `actor` from outside any actor (driver code).
     pub fn schedule_timer(&mut self, at: Time, actor: ActorId, token: u64) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
-        let seq = self.next_seq();
-        self.queue.push(Reverse(Scheduled {
+        self.core.push_event(
             at,
-            seq,
-            kind: EventKind::Timer { actor, token },
-        }));
+            EventKind::Timer {
+                actor,
+                token,
+                cancel_id: None,
+            },
+        );
     }
 
-    fn next_seq(&mut self) -> u64 {
-        let s = self.seq;
-        self.seq += 1;
-        s
+    /// Cancel a timer from driver code (see [`Ctx::cancel_timer`]).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancelled.insert(id.0);
     }
 
     /// Process a single event. Returns `false` when the queue is empty or a
-    /// stop was requested.
+    /// stop was requested. Cancelled timers are skipped (virtual time still
+    /// advances past them) and do not count as processed events.
     pub fn step(&mut self) -> bool {
-        if self.stop || self.events_processed >= self.event_limit {
-            return false;
-        }
-        let Some(Reverse(ev)) = self.queue.pop() else {
-            return false;
-        };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
-        self.events_processed += 1;
-
-        let actor_id = match &ev.kind {
-            EventKind::Message { to, .. } => *to,
-            EventKind::Timer { actor, .. } => *actor,
-        };
-        if let Some(trace) = self.trace.as_mut() {
-            let te = match &ev.kind {
-                EventKind::Message { from, to, .. } => TraceEvent::Message {
-                    from: *from,
-                    to: *to,
-                },
-                EventKind::Timer { actor, token } => TraceEvent::Timer {
-                    actor: *actor,
-                    token: *token,
-                },
+        loop {
+            if self.core.stop || self.core.counters.events_processed >= self.event_limit {
+                return false;
+            }
+            let Some(Reverse(key)) = self.core.queue.pop() else {
+                return false;
             };
-            trace.record(ev.at, te);
-        }
-        let mut actor = self.actors[actor_id]
-            .take()
-            .expect("re-entrant dispatch on actor");
-        {
+            debug_assert!(key.at() >= self.now, "time went backwards");
+            self.now = key.at();
+            let kind = self.core.nodes[key.idx as usize]
+                .take()
+                .expect("heap key points at an empty slab slot");
+            self.core.free.push(key.idx);
+
+            if let EventKind::Timer {
+                cancel_id: Some(id),
+                ..
+            } = &kind
+            {
+                if self.core.cancelled.remove(&id.0) {
+                    self.core.counters.timers_cancelled += 1;
+                    continue; // skipped: not dispatched, not traced, not counted
+                }
+            }
+            self.core.counters.events_processed += 1;
+
+            let actor_id = match &kind {
+                EventKind::Message { to, .. } => *to,
+                EventKind::Timer { actor, .. } => *actor,
+            };
+            if let Some(trace) = self.trace.as_mut() {
+                let te = match &kind {
+                    EventKind::Message { from, to, .. } => TraceEvent::Message {
+                        from: *from,
+                        to: *to,
+                    },
+                    EventKind::Timer { actor, token, .. } => TraceEvent::Timer {
+                        actor: *actor,
+                        token: *token,
+                    },
+                };
+                trace.record(self.now, te);
+            }
+            // Split-borrow: the dispatched actor comes out of `self.actors`
+            // while `Ctx` borrows `self.core` — disjoint fields, so handlers
+            // schedule directly into the event queue with no intermediate
+            // buffering (and no per-event take/put of the actor box).
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: actor_id,
-                pending: &mut self.pending,
-                rng: &mut self.rng,
-                stop: &mut self.stop,
+                core: &mut self.core,
             };
-            match ev.kind {
-                EventKind::Message { from, msg, .. } => actor.on_message(&mut ctx, from, msg),
+            let actor = &mut self.actors[actor_id];
+            match kind {
+                EventKind::Message { from, msg, .. } => match msg {
+                    Msg::Packet(pkt) => actor.on_packet(&mut ctx, from, pkt),
+                    Msg::Ctrl(b) => actor.on_message(&mut ctx, from, b),
+                },
                 EventKind::Timer { token, .. } => actor.on_timer(&mut ctx, token),
             }
-        }
-        self.actors[actor_id] = Some(actor);
-        self.flush_pending();
-        true
-    }
-
-    fn flush_pending(&mut self) {
-        // Drain into the queue, assigning sequence numbers in emission order
-        // so effects of one handler are processed in the order it issued them.
-        let pending = std::mem::take(&mut self.pending);
-        for p in pending {
-            match p {
-                Pending::Message { at, from, to, msg } => {
-                    self.schedule_message(at, from, to, msg)
-                }
-                Pending::Timer { at, actor, token } => self.schedule_timer(at, actor, token),
-            }
+            return true;
         }
     }
 
@@ -353,8 +603,8 @@ impl Engine {
     /// `deadline` are processed). Returns the final virtual time.
     pub fn run_until(&mut self, deadline: Time) -> Time {
         loop {
-            match self.queue.peek() {
-                Some(Reverse(ev)) if ev.at <= deadline => {
+            match self.core.queue.peek() {
+                Some(Reverse(key)) if key.at() <= deadline => {
                     if !self.step() {
                         break;
                     }
@@ -367,13 +617,14 @@ impl Engine {
 
     /// True once a stop has been requested via [`Ctx::stop`].
     pub fn stopped(&self) -> bool {
-        self.stop
+        self.core.stop
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ibwire::{Lid, Opcode, Qpn};
 
     /// Echoes every message back to the sender after a fixed delay, counting
     /// deliveries.
@@ -406,6 +657,23 @@ mod tests {
         }
         fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
             self.fired_timers.push(token);
+        }
+    }
+
+    fn test_packet(psn: u32) -> Packet {
+        Packet {
+            dst_lid: Lid(2),
+            src_lid: Lid(1),
+            dst_qpn: Qpn(0),
+            src_qpn: Qpn(0),
+            opcode: Opcode::UdSend,
+            psn,
+            payload: 256,
+            msg_id: 0,
+            msg_len: 256,
+            offset: 0,
+            imm: 0,
+            data: None,
         }
     }
 
@@ -444,6 +712,31 @@ mod tests {
     }
 
     #[test]
+    fn zero_delay_self_send_runs_after_queued_same_time_events() {
+        // The documented same-timestamp contract: a Dur::ZERO self-send from
+        // the first handler lands *behind* the events that were already
+        // queued for the same instant.
+        struct Chaser {
+            order: Vec<&'static str>,
+        }
+        impl Actor for Chaser {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, msg: Box<dyn Any>) {
+                let tag = *msg.downcast::<&'static str>().unwrap();
+                if tag == "first" {
+                    ctx.send(ctx.self_id(), Box::new("chased"), Dur::ZERO);
+                }
+                self.order.push(tag);
+            }
+        }
+        let mut e = Engine::new(1);
+        let c = e.add_actor(Box::new(Chaser { order: vec![] }));
+        e.schedule_message(Time::ZERO, c, c, Box::new("first"));
+        e.schedule_message(Time::ZERO, c, c, Box::new("second"));
+        e.run();
+        assert_eq!(e.actor::<Chaser>(c).order, vec!["first", "second", "chased"]);
+    }
+
+    #[test]
     fn timers_fire_with_tokens() {
         struct T;
         impl Actor for T {
@@ -463,6 +756,100 @@ mod tests {
         let end = e.run();
         assert_eq!(end, Time::from_us(2));
         assert!(e.stopped());
+    }
+
+    #[test]
+    fn cancellable_timer_is_skipped_and_counted() {
+        struct T {
+            armed: Option<TimerId>,
+            fired: Vec<u64>,
+        }
+        impl Actor for T {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, msg: Box<dyn Any>) {
+                match *msg.downcast::<&'static str>().unwrap() {
+                    "arm" => {
+                        self.armed = Some(ctx.timer_cancellable(Dur::from_us(50), 7));
+                        // A second, uncancelled timer proves only the
+                        // cancelled one is suppressed.
+                        ctx.timer(Dur::from_us(60), 8);
+                    }
+                    "cancel" => ctx.cancel_timer(self.armed.take().unwrap()),
+                    _ => unreachable!(),
+                }
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut e = Engine::new(1);
+        let t = e.add_actor(Box::new(T {
+            armed: None,
+            fired: vec![],
+        }));
+        e.schedule_message(Time::ZERO, t, t, Box::new("arm"));
+        e.schedule_message(Time::from_us(10), t, t, Box::new("cancel"));
+        let end = e.run();
+        assert_eq!(e.actor::<T>(t).fired, vec![8], "cancelled timer must not fire");
+        assert_eq!(e.counters().timers_cancelled, 1);
+        // 2 messages + 1 surviving timer; the skipped pop is not processed.
+        assert_eq!(e.events_processed(), 3);
+        // Virtual time still advances through the cancelled slot to the
+        // surviving timer.
+        assert_eq!(end, Time::from_us(60));
+    }
+
+    #[test]
+    fn packet_lane_dispatches_to_on_packet() {
+        struct PktSink {
+            packets: Vec<u32>,
+            ctrl: u32,
+        }
+        impl Actor for PktSink {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: ActorId, _msg: Box<dyn Any>) {
+                self.ctrl += 1;
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _from: ActorId, pkt: Packet) {
+                self.packets.push(pkt.psn);
+            }
+        }
+        let mut e = Engine::new(1);
+        let s = e.add_actor(Box::new(PktSink {
+            packets: vec![],
+            ctrl: 0,
+        }));
+        e.schedule_message(Time::ZERO, s, s, test_packet(11));
+        e.schedule_message(Time::ZERO, s, s, Box::new(()));
+        e.schedule_message(Time::from_us(1), s, s, test_packet(12));
+        e.run();
+        let sink = e.actor::<PktSink>(s);
+        assert_eq!(sink.packets, vec![11, 12]);
+        assert_eq!(sink.ctrl, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not handle the packet lane")]
+    fn packet_to_non_fabric_actor_panics() {
+        let mut e = Engine::new(1);
+        let a = e.add_actor(Box::new(Echo::new(Dur::ZERO, 1)));
+        e.schedule_message(Time::ZERO, a, a, test_packet(0));
+        e.run();
+    }
+
+    #[test]
+    fn event_pool_recycles_nodes() {
+        // A long ping-pong keeps at most a couple of events in flight, so
+        // the slab plateaus immediately and everything else is a pool hit.
+        let mut e = Engine::new(1);
+        let a = e.add_actor(Box::new(Echo::new(Dur::from_us(1), u32::MAX)));
+        let b = e.add_actor(Box::new(Echo::new(Dur::from_us(1), 1000)));
+        e.schedule_message(Time::ZERO, a, b, Box::new(0u8));
+        e.run();
+        let c = e.counters();
+        assert!(c.events_processed > 1900, "{c:?}");
+        assert!(c.events_allocated <= 4, "slab must plateau: {c:?}");
+        assert_eq!(c.pool_hits + c.events_allocated, c.events_processed);
+        assert!(c.pool_hit_rate() > 0.99, "{c:?}");
+        assert!(c.peak_queue_len <= 4, "{c:?}");
     }
 
     #[test]
@@ -534,5 +921,17 @@ mod tests {
         let mut e = Engine::new(1);
         let a = e.add_actor(Box::new(Other));
         let _ = e.actor::<Echo>(a);
+    }
+
+    #[test]
+    fn msg_downcast_round_trips() {
+        let m: Msg = Box::new(42u32).into();
+        assert!(!m.is_packet());
+        assert_eq!(*m.downcast::<u32>().unwrap(), 42);
+
+        let m: Msg = test_packet(5).into();
+        assert!(m.is_packet());
+        let m = m.downcast::<u32>().unwrap_err(); // packets refuse downcast
+        assert_eq!(m.into_packet().unwrap().psn, 5);
     }
 }

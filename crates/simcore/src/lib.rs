@@ -40,7 +40,8 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Actor, ActorId, Ctx, Engine};
+pub use engine::{Actor, ActorId, Ctx, Engine, EngineCounters, Msg, TimerId};
+pub use ibwire::Packet;
 pub use rate::{Rate, SerialResource};
 pub use stats::{Histogram, OnlineStats, Throughput, TimeSeries};
 pub use time::{Dur, Time};

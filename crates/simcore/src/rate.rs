@@ -7,10 +7,9 @@
 //! carry across the WAN — is exactly 1000 ps/byte.
 
 use crate::time::{Dur, Time};
-use serde::{Deserialize, Serialize};
 
 /// A data rate, stored as picoseconds per byte.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Rate {
     ps_per_byte: u64,
 }

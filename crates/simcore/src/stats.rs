@@ -2,11 +2,10 @@
 //! moment accumulation, used by every benchmark harness.
 
 use crate::time::{Dur, Time};
-use serde::{Deserialize, Serialize};
 
 /// Counts bytes and messages over a measured interval and reports throughput
 /// in the units the paper uses (MillionBytes/sec, i.e. 10^6 bytes).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Throughput {
     bytes: u64,
     messages: u64,
@@ -67,7 +66,7 @@ impl Throughput {
 }
 
 /// Log2-bucketed histogram of durations (latencies).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     /// buckets[i] counts samples with ns in [2^i, 2^(i+1)).
     buckets: Vec<u64>,
@@ -153,7 +152,7 @@ impl Histogram {
 
 /// Byte counts bucketed by virtual time: bandwidth-over-time sampling
 /// (e.g. watching a TCP slow-start ramp).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TimeSeries {
     bucket: Dur,
     buckets: Vec<u64>,
@@ -205,7 +204,7 @@ impl TimeSeries {
 }
 
 /// Welford online mean/variance accumulator for scalar samples.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,

@@ -5,20 +5,19 @@
 //! A separate [`Dur`] type keeps "point in time" and "span of time" from
 //! being mixed up in protocol arithmetic.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// A point in virtual time, in nanoseconds since simulation start.
 #[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Time(u64);
 
 /// A span of virtual time, in nanoseconds.
 #[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Dur(u64);
 

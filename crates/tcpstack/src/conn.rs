@@ -1,6 +1,5 @@
 //! The TCP connection state machine.
 
-use serde::{Deserialize, Serialize};
 
 /// TCP/IP header bytes per segment (IPv4 20 + TCP 20 + options 12).
 pub const TCP_IP_HEADER: u32 = 52;
@@ -11,7 +10,7 @@ pub const TCP_IP_HEADER: u32 = 52;
 pub const DEFAULT_WINDOW: u64 = 1 << 20;
 
 /// Connection parameters.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct TcpConfig {
     /// Maximum segment size (bytes of payload per segment). Derive it from
     /// the carrier MTU with [`TcpConfig::for_mtu`].
