@@ -6,17 +6,20 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> rustfmt (check only)"
+cargo fmt --all -- --check
+
 echo "==> build (release)"
 cargo build --workspace --release
 
 echo "==> tests"
 cargo test --workspace --quiet
 
-echo "==> perf smoke (Quick subset + allocation counters)"
-cargo run --release -p bench --bin perf -- --quick --json /tmp/BENCH_smoke.json
+echo "==> perf smoke (Quick subset + counters, gated against the checked-in baseline)"
+cargo run --release -p bench --bin perf -- --quick --json /tmp/BENCH_smoke.json \
+    --baseline BENCH_engine.json
 
-echo "==> clippy (hot-path crates, warnings are errors)"
-cargo clippy -p ibwire -p simcore -p ibfabric -p obsidian -p ibwan-core -p bench \
-    --all-targets -- -D warnings
+echo "==> clippy (whole workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "CI OK"

@@ -31,10 +31,10 @@ fn main() {
     }
     let mut results = Vec::new();
     for file in files {
-        let text = std::fs::read_to_string(file)
-            .unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
-        let scenario = Scenario::from_json(&text)
-            .unwrap_or_else(|e| panic!("cannot parse {file}: {e}"));
+        let text =
+            std::fs::read_to_string(file).unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+        let scenario =
+            Scenario::from_json(&text).unwrap_or_else(|e| panic!("cannot parse {file}: {e}"));
         let variants: Vec<Scenario> = if sweep {
             ibwan_core::PAPER_DELAYS_US
                 .iter()

@@ -10,10 +10,16 @@
 //!   --quick          time only the Quick-fidelity subset (CI smoke)
 //!   --json PATH      write the result document (default BENCH_engine.json)
 //!   --baseline PATH  prior BENCH_engine.json to compare against; its
-//!                    timings are embedded and a full-fidelity speedup is
-//!                    computed
+//!                    timings are embedded, a full-fidelity speedup is
+//!                    computed, and the run exits nonzero if any subset
+//!                    entry regresses >10% (plus 50 ms absolute slack)
 //!   --repeat N       best-of-N timing per experiment (default 3 quick / 1 full)
 //! ```
+//!
+//! Each timing also records the fragment-coalescing tally for that
+//! experiment (trains emitted, fragments that rode inside a train, and the
+//! resulting event-reduction ratio), so the coalescing win is tracked per
+//! experiment across PRs.
 
 use bench::catalog;
 use ibwan_core::Fidelity;
@@ -28,6 +34,13 @@ struct Timing {
     id: &'static str,
     fidelity: Fidelity,
     secs: f64,
+    /// Coalescing tally for one run of this experiment (deterministic, so
+    /// identical across repeats): trains emitted and fragments coalesced.
+    trains_emitted: u64,
+    fragments_coalesced: u64,
+    /// Fraction of would-be hop events that rode inside a train:
+    /// `fragments_coalesced / (events_processed + fragments_coalesced)`.
+    coalescing_ratio: f64,
 }
 
 fn main() {
@@ -82,7 +95,9 @@ fn main() {
         });
         for e in &subset {
             let mut best = f64::INFINITY;
+            let mut tally = (0u64, 0u64, 0u64);
             for _ in 0..reps.max(1) {
+                ibfabric::fabric::reset_coalescing_tally();
                 let t0 = std::time::Instant::now();
                 let fig = (e.run)(fidelity);
                 let dt = t0.elapsed().as_secs_f64();
@@ -92,12 +107,27 @@ fn main() {
                     e.id
                 );
                 best = best.min(dt);
+                tally = ibfabric::fabric::coalescing_tally();
             }
-            eprintln!("{:8} {fidelity:?}: {best:.3}s (best of {reps})", e.id);
+            let (trains, frags, events) = tally;
+            let ratio = if events + frags > 0 {
+                frags as f64 / (events + frags) as f64
+            } else {
+                0.0
+            };
+            eprintln!(
+                "{:8} {fidelity:?}: {best:.3}s (best of {reps}), \
+                 coalescing {:.1}% ({trains} trains, {frags} frags)",
+                e.id,
+                ratio * 100.0
+            );
             timings.push(Timing {
                 id: e.id,
                 fidelity,
                 secs: best,
+                trains_emitted: trains,
+                fragments_coalesced: frags,
+                coalescing_ratio: ratio,
             });
         }
     }
@@ -105,16 +135,20 @@ fn main() {
     let counters = engine_counters();
     eprintln!(
         "engine counters (8 MiB WAN RC stream): events_processed={} \
-         events_allocated={} peak_queue_len={} pool_hit_rate={:.4}",
+         events_allocated={} peak_queue_len={} pool_hit_rate={:.4} \
+         trains_emitted={} fragments_coalesced={} coalescing_ratio={:.4}",
         counters.events_processed,
         counters.events_allocated,
         counters.peak_queue_len,
-        counters.pool_hit_rate()
+        counters.pool_hit_rate(),
+        counters.trains_emitted,
+        counters.fragments_coalesced,
+        counters.coalescing_ratio()
     );
 
     let baseline = baseline_path.as_deref().map(|p| {
-        let text = std::fs::read_to_string(p)
-            .unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"));
+        let text =
+            std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"));
         Value::parse(&text).unwrap_or_else(|e| panic!("cannot parse baseline {p}: {e}"))
     });
 
@@ -131,6 +165,28 @@ fn main() {
         eprintln!("full-fidelity subset speedup vs baseline: {s:.2}x");
     }
 
+    // Regression gate: every current subset entry is matched against the
+    // baseline entry with the same (id, fidelity); a regression is >10%
+    // slower AND >50 ms absolute (the slack keeps sub-100 ms Quick timings
+    // from tripping on scheduler noise).
+    let mut regressions = Vec::new();
+    if let Some(b) = &baseline {
+        for t in &timings {
+            if let Some(base) = baseline_entry_secs(b, t.id, t.fidelity) {
+                if t.secs > base * 1.10 && t.secs > base + 0.05 {
+                    regressions.push(format!(
+                        "{} {:?}: {:.3}s vs baseline {:.3}s (+{:.0}%)",
+                        t.id,
+                        t.fidelity,
+                        t.secs,
+                        base,
+                        (t.secs / base - 1.0) * 100.0
+                    ));
+                }
+            }
+        }
+    }
+
     let timing_values: Vec<Value> = timings
         .iter()
         .map(|t| {
@@ -144,6 +200,9 @@ fn main() {
                     }),
                 ),
                 ("secs", Value::Num(t.secs)),
+                ("trains_emitted", Value::from(t.trains_emitted)),
+                ("fragments_coalesced", Value::from(t.fragments_coalesced)),
+                ("coalescing_ratio", Value::Num(t.coalescing_ratio)),
             ])
         })
         .collect();
@@ -162,6 +221,12 @@ fn main() {
                 ("events_allocated", Value::from(counters.events_allocated)),
                 ("peak_queue_len", Value::from(counters.peak_queue_len)),
                 ("pool_hit_rate", Value::Num(counters.pool_hit_rate())),
+                ("trains_emitted", Value::from(counters.trains_emitted)),
+                (
+                    "fragments_coalesced",
+                    Value::from(counters.fragments_coalesced),
+                ),
+                ("coalescing_ratio", Value::Num(counters.coalescing_ratio())),
             ]),
         ),
     ];
@@ -174,6 +239,28 @@ fn main() {
     std::fs::write(&json_path, obj(doc).to_pretty() + "\n")
         .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
     eprintln!("wrote {json_path}");
+
+    if !regressions.is_empty() {
+        eprintln!("PERF REGRESSION vs {}:", baseline_path.as_deref().unwrap());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The baseline document's timing (secs) for a given (id, fidelity) pair.
+fn baseline_entry_secs(doc: &Value, id: &str, fidelity: Fidelity) -> Option<f64> {
+    let want = match fidelity {
+        Fidelity::Quick => "quick",
+        Fidelity::Full => "full",
+    };
+    for t in doc.get("timings")?.as_array()? {
+        if t.get("id")?.as_str()? == id && t.get("fidelity")?.as_str()? == want {
+            return t.get("secs")?.as_f64();
+        }
+    }
+    None
 }
 
 /// Sum of the baseline document's full-fidelity subset timings.

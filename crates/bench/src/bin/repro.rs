@@ -1,12 +1,14 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] [--json DIR] [IDS...]
+//! repro [--full] [--json DIR] [--no-coalescing] [IDS...]
 //!
 //!   IDS       experiment ids to run ("table1", "fig5a", ...; default: all)
 //!   --full    use the Full fidelity (the EXPERIMENTS.md numbers); default
 //!             is Quick
 //!   --json DIR  additionally write each figure as DIR/<id>.json
+//!   --no-coalescing  force the per-fragment wire path (A/B harness for the
+//!             fragment-train fast path; outputs must be bit-identical)
 //! ```
 
 use bench::catalog;
@@ -24,8 +26,9 @@ fn main() {
             "--json" => {
                 json_dir = Some(args.next().expect("--json needs a directory"));
             }
+            "--no-coalescing" => ibfabric::fabric::set_default_coalescing(false),
             "--help" | "-h" => {
-                eprintln!("usage: repro [--full] [--json DIR] [IDS...]");
+                eprintln!("usage: repro [--full] [--json DIR] [--no-coalescing] [IDS...]");
                 eprintln!("experiments:");
                 for e in catalog() {
                     eprintln!("  {:8} {}", e.id, e.description);
@@ -71,8 +74,7 @@ fn main() {
         )
         .unwrap();
         if let Some(dir) = &json_dir {
-            std::fs::write(format!("{dir}/{}.json", fig.id), fig.to_json())
-                .expect("write json");
+            std::fs::write(format!("{dir}/{}.json", fig.id), fig.to_json()).expect("write json");
         }
     }
 }

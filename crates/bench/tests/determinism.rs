@@ -7,15 +7,29 @@
 //! pointer-keyed ordering, pool-dependent dispatch order) breaks these tests.
 
 use bench::catalog;
+use ibfabric::fabric::set_default_coalescing;
 use ibfabric::perftest::{rc_qp_pair, BwConfig, BwPeer};
 use ibfabric::qp::QpConfig;
 use ibwan_core::topology::wan_node_pair;
 use ibwan_core::Fidelity;
 use simcore::Dur;
+use std::sync::{Mutex, MutexGuard};
+
+/// Tests in this binary run concurrently but the coalescing default is a
+/// process-wide flag, so every test that reads or writes it serializes here.
+/// A poisoned lock just means another test's assertion fired — the flag
+/// state is still usable, so recover the guard.
+static COALESCING_FLAG: Mutex<()> = Mutex::new(());
+
+fn flag_lock() -> MutexGuard<'static, ()> {
+    COALESCING_FLAG.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Run a catalog experiment twice at Quick fidelity and demand bit-identical
 /// output.
 fn assert_golden(id: &str) {
+    let _flag = flag_lock();
+    set_default_coalescing(true);
     let experiments = catalog();
     let e = experiments
         .iter()
@@ -35,6 +49,33 @@ fn assert_golden(id: &str) {
     );
 }
 
+/// Run a catalog experiment with fragment coalescing on and off and demand
+/// bit-identical output: trains are a pure event-count optimization, so
+/// every table cell and JSON byte must survive the A/B flip.
+fn assert_coalescing_invisible(id: &str) {
+    let _flag = flag_lock();
+    let experiments = catalog();
+    let e = experiments
+        .iter()
+        .find(|e| e.id == id)
+        .unwrap_or_else(|| panic!("experiment {id} missing from catalog"));
+    set_default_coalescing(true);
+    let coalesced = (e.run)(Fidelity::Quick);
+    set_default_coalescing(false);
+    let per_fragment = (e.run)(Fidelity::Quick);
+    set_default_coalescing(true);
+    assert_eq!(
+        coalesced.to_table(),
+        per_fragment.to_table(),
+        "{id}: table changed when coalescing was disabled"
+    );
+    assert_eq!(
+        coalesced.to_json(),
+        per_fragment.to_json(),
+        "{id}: JSON changed when coalescing was disabled"
+    );
+}
+
 #[test]
 fn rc_verbs_figure_is_bit_identical_across_runs() {
     assert_golden("fig5a");
@@ -45,26 +86,30 @@ fn nfs_figure_is_bit_identical_across_runs() {
     assert_golden("fig13a");
 }
 
+#[test]
+fn rc_verbs_figure_is_identical_with_and_without_coalescing() {
+    assert_coalescing_invisible("fig5a");
+}
+
+#[test]
+fn mpi_figure_is_identical_with_and_without_coalescing() {
+    assert_coalescing_invisible("fig8a");
+}
+
+#[test]
+fn nfs_figure_is_identical_with_and_without_coalescing() {
+    assert_coalescing_invisible("fig13a");
+}
+
 /// Whole-fabric report equality, including the engine's event counters: two
 /// identically-seeded WAN RC streams must dispatch event-for-event the same
 /// schedule, not merely converge to the same figures.
 #[test]
 fn fabric_reports_and_event_counts_are_identical() {
-    fn run() -> ibfabric::fabric::FabricReport {
-        let (mut f, a, b) = wan_node_pair(
-            42,
-            Dur::from_us(100),
-            Box::new(BwPeer::sender(BwConfig::new(65536, 64))),
-            Box::new(BwPeer::receiver()),
-        );
-        let (qa, qb) = rc_qp_pair(&mut f, a, b, QpConfig::rc());
-        f.hca_mut(a).ulp_mut::<BwPeer>().qpn = qa;
-        f.hca_mut(b).ulp_mut::<BwPeer>().qpn = qb;
-        f.run();
-        f.report()
-    }
-    let first = run();
-    let second = run();
+    let _flag = flag_lock();
+    set_default_coalescing(true);
+    let first = wan_stream_report(64);
+    let second = wan_stream_report(64);
     assert_eq!(first, second, "fabric reports diverged across runs");
     assert!(
         first.engine_counters.events_processed > 0,
@@ -76,4 +121,40 @@ fn fabric_reports_and_event_counts_are_identical() {
         "pool hit rate collapsed: {:?}",
         first.engine_counters
     );
+}
+
+/// An 8 MiB WAN RC stream (128 × 64 KiB messages) is the best case for
+/// fragment trains: long contiguous runs of Middle fragments under a wide
+/// ACK window. The bulk of hop events must ride inside trains.
+#[test]
+fn wan_rc_stream_coalesces_most_fragments() {
+    let _flag = flag_lock();
+    set_default_coalescing(true);
+    let report = wan_stream_report(128);
+    let c = &report.engine_counters;
+    assert!(
+        c.trains_emitted > 0,
+        "no trains on a contiguous RC stream: {c:?}"
+    );
+    assert!(
+        c.coalescing_ratio() >= 0.5,
+        "coalescing ratio collapsed on the 8 MiB WAN RC stream: \
+         {:.3} ({c:?})",
+        c.coalescing_ratio()
+    );
+}
+
+/// One WAN RC stream of `msgs` 64 KiB messages over a 100 µs link.
+fn wan_stream_report(msgs: u64) -> ibfabric::fabric::FabricReport {
+    let (mut f, a, b) = wan_node_pair(
+        42,
+        Dur::from_us(100),
+        Box::new(BwPeer::sender(BwConfig::new(65536, msgs))),
+        Box::new(BwPeer::receiver()),
+    );
+    let (qa, qb) = rc_qp_pair(&mut f, a, b, QpConfig::rc());
+    f.hca_mut(a).ulp_mut::<BwPeer>().qpn = qa;
+    f.hca_mut(b).ulp_mut::<BwPeer>().qpn = qb;
+    f.run();
+    f.report()
 }

@@ -143,20 +143,14 @@ mod tests {
             .iter()
             .map(|&d| {
                 let f = crate::nfs_exp::fig13_transport_comparison(d, Fidelity::Quick);
-                (
-                    d as f64,
-                    f.series("RDMA").unwrap().y_at(8.0).unwrap(),
-                )
+                (d as f64, f.series("RDMA").unwrap().y_at(8.0).unwrap())
             })
             .collect();
         let rc_pts: Vec<(f64, f64)> = [100u64, 1000]
             .iter()
             .map(|&d| {
                 let f = crate::nfs_exp::fig13_transport_comparison(d, Fidelity::Quick);
-                (
-                    d as f64,
-                    f.series("IPoIB-RC").unwrap().y_at(8.0).unwrap(),
-                )
+                (d as f64, f.series("IPoIB-RC").unwrap().y_at(8.0).unwrap())
             })
             .collect();
         let x = crossover(&series(&rdma_pts), &series(&rc_pts)).unwrap();

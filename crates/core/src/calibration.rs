@@ -122,7 +122,12 @@ pub fn run_calibration(fidelity: Fidelity) -> Vec<Check> {
         Check {
             name: "MPI peak bandwidth".into(),
             paper: 969.0,
-            measured: osu_bw(wan_pair(Dur::ZERO), 1 << 20, 8, fidelity.iters(4, 12) as u32),
+            measured: osu_bw(
+                wan_pair(Dur::ZERO),
+                1 << 20,
+                8,
+                fidelity.iters(4, 12) as u32,
+            ),
             tolerance: 0.02,
             unit: "MB/s".into(),
         },
@@ -131,7 +136,11 @@ pub fn run_calibration(fidelity: Fidelity) -> Vec<Check> {
 
 /// Render all checks, one per line.
 pub fn render(checks: &[Check]) -> String {
-    checks.iter().map(Check::render).collect::<Vec<_>>().join("\n")
+    checks
+        .iter()
+        .map(Check::render)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[cfg(test)]
@@ -157,7 +166,10 @@ mod tests {
             unit: "u".into(),
         };
         assert!(c.ok());
-        let bad = Check { measured: 110.0, ..c };
+        let bad = Check {
+            measured: 110.0,
+            ..c
+        };
         assert!(!bad.ok());
         assert!(bad.render().contains("OFF"));
     }

@@ -83,7 +83,11 @@ pub fn ext_rndv_protocols(fidelity: Fidelity) -> Figure {
             ..MpiConfig::default()
         };
         let iters = fidelity.iters(3, 10) as u32;
-        (l, d, osu_bw(wan_pair_with(Dur::from_us(d), cfg), 262_144, 16, iters))
+        (
+            l,
+            d,
+            osu_bw(wan_pair_with(Dur::from_us(d), cfg), 262_144, 16, iters),
+        )
     });
     for &(label, _) in &protocols {
         let mut series = Series::new(label);
@@ -212,7 +216,10 @@ fn sdp_stream_bw(delay: Dur, msg_size: u32, count: u64) -> f64 {
         HcaConfig::default(),
         Box::new(SdpNode::sender(SdpConfig::default(), msg_size, count)),
     );
-    let b = builder.add_hca(HcaConfig::default(), Box::new(SdpNode::receiver(SdpConfig::default())));
+    let b = builder.add_hca(
+        HcaConfig::default(),
+        Box::new(SdpNode::receiver(SdpConfig::default())),
+    );
     let sw_a = builder.add_switch();
     let sw_b = builder.add_switch();
     builder.link(a.actor, sw_a, LinkConfig::ddr_lan());
@@ -249,13 +256,9 @@ pub fn ext_sdp_vs_ipoib(fidelity: Fidelity) -> Figure {
         let bw = match l {
             "SDP-bcopy-32K" => sdp_stream_bw(delay, 32768, count),
             "SDP-zcopy-1M" => sdp_stream_bw(delay, 1 << 20, zcount),
-            "IPoIB-UD" => run_ipoib_point(
-                IpoibConfig::ud(),
-                tcpstack::DEFAULT_WINDOW,
-                1,
-                d,
-                fidelity,
-            ),
+            "IPoIB-UD" => {
+                run_ipoib_point(IpoibConfig::ud(), tcpstack::DEFAULT_WINDOW, 1, d, fidelity)
+            }
             "IPoIB-RC" => run_ipoib_point(
                 IpoibConfig::rc(65536),
                 tcpstack::DEFAULT_WINDOW,

@@ -83,7 +83,11 @@ pub fn fig6_ipoib_ud(parallel: bool, fidelity: Fidelity) -> Figure {
             .flat_map(|&n| PAPER_DELAYS_US.iter().map(move |&d| (n, d)))
             .collect();
         let res = parallel_map(pts, |(n, d)| {
-            (n, d, run_ipoib_point(cfg, tcpstack::DEFAULT_WINDOW, n, d, fidelity))
+            (
+                n,
+                d,
+                run_ipoib_point(cfg, tcpstack::DEFAULT_WINDOW, n, d, fidelity),
+            )
         });
         for &n in &STREAMS {
             let mut s = Series::new(format!("{n}-streams"));
@@ -106,7 +110,9 @@ pub fn fig6_ipoib_ud(parallel: bool, fidelity: Fidelity) -> Figure {
             .iter()
             .flat_map(|&(l, w)| PAPER_DELAYS_US.iter().map(move |&d| (l, w, d)))
             .collect();
-        let res = parallel_map(pts, |(l, w, d)| (l, d, run_ipoib_point(cfg, w, 1, d, fidelity)));
+        let res = parallel_map(pts, |(l, w, d)| {
+            (l, d, run_ipoib_point(cfg, w, 1, d, fidelity))
+        });
         for &(label, _) in &WINDOWS {
             let mut s = Series::new(label);
             for &(l, d, bw) in &res {
@@ -136,7 +142,11 @@ pub fn fig7_ipoib_rc(parallel: bool, fidelity: Fidelity) -> Figure {
             .flat_map(|&n| PAPER_DELAYS_US.iter().map(move |&d| (n, d)))
             .collect();
         let res = parallel_map(pts, |(n, d)| {
-            (n, d, run_ipoib_point(cfg, tcpstack::DEFAULT_WINDOW, n, d, fidelity))
+            (
+                n,
+                d,
+                run_ipoib_point(cfg, tcpstack::DEFAULT_WINDOW, n, d, fidelity),
+            )
         });
         for &n in &STREAMS {
             let mut s = Series::new(format!("{n}-streams"));

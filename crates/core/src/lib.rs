@@ -52,7 +52,6 @@ pub mod verbs;
 pub use results::{Figure, Series};
 pub use topology::{lan_node_pair, wan_node_pair};
 
-
 /// How much simulated work to spend per data point.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Fidelity {

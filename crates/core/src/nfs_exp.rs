@@ -105,11 +105,17 @@ mod tests {
         let rdma_b = b.series("RDMA").unwrap().y_at(8.0).unwrap();
         let rc_b = b.series("IPoIB-RC").unwrap().y_at(8.0).unwrap();
         let ud_b = b.series("IPoIB-UD").unwrap().y_at(8.0).unwrap();
-        assert!(rdma_b > rc_b && rc_b > ud_b, "panel b: {rdma_b} {rc_b} {ud_b}");
+        assert!(
+            rdma_b > rc_b && rc_b > ud_b,
+            "panel b: {rdma_b} {rc_b} {ud_b}"
+        );
 
         let c = fig13_transport_comparison(1000, Fidelity::Quick);
         let rdma_c = c.series("RDMA").unwrap().y_at(8.0).unwrap();
         let rc_c = c.series("IPoIB-RC").unwrap().y_at(8.0).unwrap();
-        assert!(rc_c > rdma_c, "panel c: IPoIB-RC ({rc_c}) over RDMA ({rdma_c})");
+        assert!(
+            rc_c > rdma_c,
+            "panel c: IPoIB-RC ({rc_c}) over RDMA ({rdma_c})"
+        );
     }
 }

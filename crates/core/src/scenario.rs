@@ -153,13 +153,23 @@ impl Workload {
                 ("size", Value::from(*size)),
                 ("iters", Value::from(*iters)),
             ]),
-            Workload::VerbsBandwidth { transport, size, iters } => obj([
+            Workload::VerbsBandwidth {
+                transport,
+                size,
+                iters,
+            } => obj([
                 ("kind", Value::from("verbs_bandwidth")),
                 ("transport", Value::from(transport.clone())),
                 ("size", Value::from(*size)),
                 ("iters", Value::from(*iters)),
             ]),
-            Workload::Ipoib { mode, mtu, window, streams, bytes_per_stream } => obj([
+            Workload::Ipoib {
+                mode,
+                mtu,
+                window,
+                streams,
+                bytes_per_stream,
+            } => obj([
                 ("kind", Value::from("ipoib")),
                 ("mode", Value::from(mode.clone())),
                 ("mtu", Value::from(*mtu)),
@@ -172,41 +182,66 @@ impl Workload {
                 ("size", Value::from(*size)),
                 ("iters", Value::from(*iters)),
             ]),
-            Workload::MpiBandwidth { size, window, iters, eager_threshold, rndv_protocol } => {
-                obj([
-                    ("kind", Value::from("mpi_bandwidth")),
-                    ("size", Value::from(*size)),
-                    ("window", Value::from(*window)),
-                    ("iters", Value::from(*iters)),
-                    ("eager_threshold", Value::from(*eager_threshold)),
-                    ("rndv_protocol", Value::from(rndv_protocol.clone())),
-                ])
-            }
-            Workload::MpiBcast { ranks_per_cluster, size, iters, hierarchical } => obj([
+            Workload::MpiBandwidth {
+                size,
+                window,
+                iters,
+                eager_threshold,
+                rndv_protocol,
+            } => obj([
+                ("kind", Value::from("mpi_bandwidth")),
+                ("size", Value::from(*size)),
+                ("window", Value::from(*window)),
+                ("iters", Value::from(*iters)),
+                ("eager_threshold", Value::from(*eager_threshold)),
+                ("rndv_protocol", Value::from(rndv_protocol.clone())),
+            ]),
+            Workload::MpiBcast {
+                ranks_per_cluster,
+                size,
+                iters,
+                hierarchical,
+            } => obj([
                 ("kind", Value::from("mpi_bcast")),
                 ("ranks_per_cluster", Value::from(*ranks_per_cluster)),
                 ("size", Value::from(*size)),
                 ("iters", Value::from(*iters)),
                 ("hierarchical", Value::from(*hierarchical)),
             ]),
-            Workload::MessageRate { pairs, size, window, iters } => obj([
+            Workload::MessageRate {
+                pairs,
+                size,
+                window,
+                iters,
+            } => obj([
                 ("kind", Value::from("message_rate")),
                 ("pairs", Value::from(*pairs)),
                 ("size", Value::from(*size)),
                 ("window", Value::from(*window)),
                 ("iters", Value::from(*iters)),
             ]),
-            Workload::Nas { benchmark, ranks_per_cluster } => obj([
+            Workload::Nas {
+                benchmark,
+                ranks_per_cluster,
+            } => obj([
                 ("kind", Value::from("nas")),
                 ("benchmark", Value::from(benchmark.clone())),
                 ("ranks_per_cluster", Value::from(*ranks_per_cluster)),
             ]),
-            Workload::MpiPattern { ranks_per_cluster, spec } => obj([
+            Workload::MpiPattern {
+                ranks_per_cluster,
+                spec,
+            } => obj([
                 ("kind", Value::from("mpi_pattern")),
                 ("ranks_per_cluster", Value::from(*ranks_per_cluster)),
                 ("spec", spec.to_value()),
             ]),
-            Workload::Nfs { transport, threads, file_mib, write } => obj([
+            Workload::Nfs {
+                transport,
+                threads,
+                file_mib,
+                write,
+            } => obj([
                 ("kind", Value::from("nfs")),
                 ("transport", Value::from(transport.clone())),
                 ("threads", Value::from(*threads)),
@@ -274,10 +309,7 @@ impl Workload {
                 eager_threshold: num_or("eager_threshold", 0)? as u32,
                 rndv_protocol: match v.get("rndv_protocol") {
                     None => String::new(),
-                    Some(p) => p
-                        .as_str()
-                        .ok_or("workload: bad rndv_protocol")?
-                        .to_string(),
+                    Some(p) => p.as_str().ok_or("workload: bad rndv_protocol")?.to_string(),
                 },
             }),
             "mpi_bcast" => Ok(Workload::MpiBcast {
@@ -460,9 +492,17 @@ impl Scenario {
                     }
                 }
                 f.run();
-                result("latency", f.hca(a).ulp::<PingPong>().mean_latency_us(), "us")
+                result(
+                    "latency",
+                    f.hca(a).ulp::<PingPong>().mean_latency_us(),
+                    "us",
+                )
             }
-            Workload::VerbsBandwidth { transport, size, iters } => {
+            Workload::VerbsBandwidth {
+                transport,
+                size,
+                iters,
+            } => {
                 let ud = match transport.as_str() {
                     "ud" => true,
                     "rc" => false,
@@ -495,7 +535,13 @@ impl Scenario {
                 };
                 result("bandwidth", bw, "MB/s")
             }
-            Workload::Ipoib { mode, mtu, window, streams, bytes_per_stream } => {
+            Workload::Ipoib {
+                mode,
+                mtu,
+                window,
+                streams,
+                bytes_per_stream,
+            } => {
                 assert_eq!(loss, 0, "IPoIB workload models a pristine WAN");
                 let cfg = match mode.as_str() {
                     "ud" => IpoibConfig::ud(),
@@ -524,14 +570,24 @@ impl Scenario {
                     u.port.peer = Some((a.lid, qa));
                 }
                 f.run();
-                result("throughput", f.hca(b).ulp::<IpoibNode>().throughput_mbs(), "MB/s")
+                result(
+                    "throughput",
+                    f.hca(b).ulp::<IpoibNode>().throughput_mbs(),
+                    "MB/s",
+                )
             }
             Workload::MpiLatency { size, iters } => {
                 assert_eq!(loss, 0, "MPI workloads model a pristine WAN");
                 let spec = JobSpec::two_clusters(1, 1, delay);
                 result("latency", mpibench::osu_latency(spec, *size, *iters), "us")
             }
-            Workload::MpiBandwidth { size, window, iters, eager_threshold, rndv_protocol } => {
+            Workload::MpiBandwidth {
+                size,
+                window,
+                iters,
+                eager_threshold,
+                rndv_protocol,
+            } => {
                 assert_eq!(loss, 0, "MPI workloads model a pristine WAN");
                 let mut cfg = MpiConfig::default();
                 if *eager_threshold > 0 {
@@ -550,7 +606,12 @@ impl Scenario {
                     "MB/s",
                 )
             }
-            Workload::MpiBcast { ranks_per_cluster, size, iters, hierarchical } => {
+            Workload::MpiBcast {
+                ranks_per_cluster,
+                size,
+                iters,
+                hierarchical,
+            } => {
                 assert_eq!(loss, 0, "MPI workloads model a pristine WAN");
                 let spec = JobSpec::two_clusters(*ranks_per_cluster, *ranks_per_cluster, delay);
                 result(
@@ -559,7 +620,12 @@ impl Scenario {
                     "us",
                 )
             }
-            Workload::MessageRate { pairs, size, window, iters } => {
+            Workload::MessageRate {
+                pairs,
+                size,
+                window,
+                iters,
+            } => {
                 assert_eq!(loss, 0, "MPI workloads model a pristine WAN");
                 let spec = JobSpec::two_clusters(*pairs, *pairs, delay);
                 result(
@@ -568,7 +634,10 @@ impl Scenario {
                     "Mmsg/s",
                 )
             }
-            Workload::Nas { benchmark, ranks_per_cluster } => {
+            Workload::Nas {
+                benchmark,
+                ranks_per_cluster,
+            } => {
                 assert_eq!(loss, 0, "NAS workloads model a pristine WAN");
                 let bench = match benchmark.as_str() {
                     "is" => NasBenchmark::Is,
@@ -581,7 +650,10 @@ impl Scenario {
                 let r = nasbench::run(bench, *ranks_per_cluster, *ranks_per_cluster, delay);
                 result("time", r.time_secs, "s")
             }
-            Workload::MpiPattern { ranks_per_cluster, spec } => {
+            Workload::MpiPattern {
+                ranks_per_cluster,
+                spec,
+            } => {
                 assert_eq!(loss, 0, "MPI workloads model a pristine WAN");
                 if let Some(req) = spec.required_ranks() {
                     assert_eq!(
@@ -605,7 +677,12 @@ impl Scenario {
                     .expect("pattern records marks");
                 result("time", t1.since(t0).as_secs_f64(), "s")
             }
-            Workload::Nfs { transport, threads, file_mib, write } => {
+            Workload::Nfs {
+                transport,
+                threads,
+                file_mib,
+                write,
+            } => {
                 assert_eq!(loss, 0, "NFS workloads model a pristine WAN");
                 let t = match transport.as_str() {
                     "rdma" => NfsTransport::Rdma,

@@ -10,8 +10,9 @@ use std::sync::Mutex;
 /// Runs on a bounded pool of `min(available_parallelism, inputs.len())`
 /// scoped worker threads that self-schedule inputs from a shared index —
 /// large sweeps no longer spawn one OS thread per configuration. Results
-/// come back in input order. If any worker panics, the panic propagates to
-/// the caller (message: "sweep worker panicked") once the scope joins.
+/// come back in input order. If any worker panics, the first panic payload
+/// is re-raised in the caller once the scope joins, so the original
+/// assertion message (not a generic wrapper) reaches the user.
 pub fn parallel_map<I, T, F>(inputs: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
@@ -32,7 +33,7 @@ where
     let slots: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let panicked = std::thread::scope(|s| {
+    let first_panic = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| loop {
@@ -46,9 +47,20 @@ where
                 })
             })
             .collect();
-        handles.into_iter().any(|h| h.join().is_err())
+        // Join every handle (a dropped panicked handle would make the scope
+        // itself panic with a generic message), keeping the first payload.
+        let mut first = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                first.get_or_insert(payload);
+            }
+        }
+        first
     });
-    assert!(!panicked, "sweep worker panicked");
+    if let Some(payload) = first_panic {
+        // Surface the worker's own panic message to the caller.
+        std::panic::resume_unwind(payload);
+    }
     results
         .into_iter()
         .map(|m| m.into_inner().unwrap().expect("missing result"))
@@ -80,13 +92,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sweep worker panicked")]
+    #[should_panic(expected = "boom")]
     fn propagates_panics() {
         parallel_map(vec![1], |_: i32| -> i32 { panic!("boom") });
     }
 
     #[test]
-    #[should_panic(expected = "sweep worker panicked")]
+    #[should_panic(expected = "boom")]
     fn propagates_panics_from_pooled_workers() {
         parallel_map((0..64).collect(), |x: i32| {
             if x == 33 {

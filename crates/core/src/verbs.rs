@@ -88,9 +88,7 @@ pub fn fig3_latency(fidelity: Fidelity) -> Figure {
     let results = parallel_map(
         variants
             .iter()
-            .flat_map(|&(label, wan, mode)| {
-                LAT_SIZES.iter().map(move |&s| (label, wan, mode, s))
-            })
+            .flat_map(|&(label, wan, mode)| LAT_SIZES.iter().map(move |&s| (label, wan, mode, s)))
             .collect::<Vec<_>>(),
         |(label, wan, mode, size)| (label, size, run_latency(wan, mode, size, iters)),
     );
@@ -130,12 +128,7 @@ fn run_bw_point(p: &BwPoint, fidelity: Fidelity) -> f64 {
             Box::new(BwPeer::receiver())
         }
     };
-    let (mut f, a, b) = wan_node_pair(
-        33,
-        Dur::from_us(p.delay_us),
-        mk(true),
-        mk(p.bidir),
-    );
+    let (mut f, a, b) = wan_node_pair(33, Dur::from_us(p.delay_us), mk(true), mk(p.bidir));
     if p.ud {
         let (qa, qb) = ud_qp_pair(&mut f, a, b, QpConfig::ud());
         {
@@ -272,7 +265,10 @@ mod tests {
         let lan = f.series("BackToBack-SR/RC").unwrap().y_at(4.0).unwrap();
         assert!(wan - lan > 3.5 && wan - lan < 8.0, "wan {wan} lan {lan}");
         let write = f.series("RDMAWrite/RC").unwrap().y_at(4.0).unwrap();
-        assert!(write < wan, "RDMA write {write} should beat send/recv {wan}");
+        assert!(
+            write < wan,
+            "RDMA write {write} should beat send/recv {wan}"
+        );
     }
 
     #[test]

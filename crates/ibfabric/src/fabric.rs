@@ -14,6 +14,50 @@ use crate::types::Lid;
 use crate::ulp::Ulp;
 use simcore::{Actor, ActorId, Engine, Time};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Process-wide default for fragment-train coalescing, consulted by every
+/// new [`FabricBuilder`]. Lets a harness (e.g. `repro --no-coalescing`) A/B
+/// the coalesced and per-fragment paths without threading a flag through
+/// every experiment constructor.
+static DEFAULT_COALESCING: AtomicBool = AtomicBool::new(true);
+
+/// Set the process-wide coalescing default for fabrics built afterwards.
+pub fn set_default_coalescing(on: bool) {
+    DEFAULT_COALESCING.store(on, Ordering::SeqCst);
+}
+
+/// The current process-wide coalescing default.
+pub fn default_coalescing() -> bool {
+    DEFAULT_COALESCING.load(Ordering::SeqCst)
+}
+
+// Process-wide tally of coalescing work across `Fabric::run` calls, so
+// harnesses that build fabrics deep inside experiment constructors can still
+// report per-experiment coalescing ratios.
+static TRAINS_TALLY: AtomicU64 = AtomicU64::new(0);
+static FRAGS_TALLY: AtomicU64 = AtomicU64::new(0);
+static EVENTS_TALLY: AtomicU64 = AtomicU64::new(0);
+
+/// Reset the process-wide coalescing tally (call before an experiment).
+pub fn reset_coalescing_tally() {
+    TRAINS_TALLY.store(0, Ordering::SeqCst);
+    FRAGS_TALLY.store(0, Ordering::SeqCst);
+    EVENTS_TALLY.store(0, Ordering::SeqCst);
+}
+
+/// `(trains_emitted, fragments_coalesced, events_processed)` accumulated by
+/// every [`Fabric::run`] since the last [`reset_coalescing_tally`]. The
+/// coalescing ratio of the span is
+/// `fragments_coalesced / (events_processed + fragments_coalesced)` — the
+/// fraction of would-be hop events that rode inside a train instead.
+pub fn coalescing_tally() -> (u64, u64, u64) {
+    (
+        TRAINS_TALLY.load(Ordering::SeqCst),
+        FRAGS_TALLY.load(Ordering::SeqCst),
+        EVENTS_TALLY.load(Ordering::SeqCst),
+    )
+}
 
 /// Anything the builder can wire a cable into.
 pub trait PortAttach: Actor {
@@ -64,6 +108,7 @@ pub struct FabricBuilder {
     ports_used: Vec<usize>,
     next_lid: u16,
     nodes: Vec<NodeHandle>,
+    coalescing: bool,
 }
 
 impl FabricBuilder {
@@ -77,7 +122,21 @@ impl FabricBuilder {
             ports_used: Vec::new(),
             next_lid: 1,
             nodes: Vec::new(),
+            coalescing: default_coalescing(),
         }
+    }
+
+    /// Explicitly enable/disable fragment-train coalescing for this fabric
+    /// (overrides the process default; topology safety checks still apply).
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.coalescing = on;
+    }
+
+    /// Force the per-fragment path for this fabric — used by components that
+    /// introduce per-fragment divergence trains cannot express (e.g. random
+    /// per-fragment loss injection).
+    pub fn disable_coalescing(&mut self) {
+        self.coalescing = false;
     }
 
     fn register<T: PortAttach>(&mut self, actor: Box<T>, kind: Kind) -> ActorId {
@@ -193,6 +252,25 @@ impl FabricBuilder {
             }
         }
 
+        // Fragment trains are only exact when no switch can merge competing
+        // flows onto one egress port mid-train: a >2-port switch may
+        // interleave two flows' fragments on shared egress, which per-train
+        // reservation cannot reproduce. Pipeline topologies (HCA–HCA,
+        // HCA–switch–HCA, WAN bridges) are safe.
+        let safe = self
+            .kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| matches!(k, Kind::Switch))
+            .all(|(id, _)| self.ports_used[id] <= 2);
+        let coalesce = self.coalescing && safe;
+        for &NodeHandle { actor, .. } in &self.nodes {
+            self.engine
+                .actor_mut::<HcaActor>(actor)
+                .core_mut()
+                .set_coalescing(coalesce);
+        }
+
         // Kick every ULP at time zero.
         for &NodeHandle { actor, .. } in &self.nodes {
             self.engine.schedule_timer(Time::ZERO, actor, START_TOKEN);
@@ -239,7 +317,22 @@ impl Fabric {
 
     /// Run the simulation to quiescence; returns final virtual time.
     pub fn run(&mut self) -> Time {
-        self.engine.run()
+        let before = self.engine.counters();
+        let t = self.engine.run();
+        let after = self.engine.counters();
+        TRAINS_TALLY.fetch_add(
+            after.trains_emitted - before.trains_emitted,
+            Ordering::SeqCst,
+        );
+        FRAGS_TALLY.fetch_add(
+            after.fragments_coalesced - before.fragments_coalesced,
+            Ordering::SeqCst,
+        );
+        EVENTS_TALLY.fetch_add(
+            after.events_processed - before.events_processed,
+            Ordering::SeqCst,
+        );
+        t
     }
 
     /// All switch actor ids (creation order).
@@ -257,10 +350,7 @@ impl Fabric {
             r.hca_packets_received += core.packets_received();
         }
         for &sw in &self.switches {
-            r.switch_packets_forwarded += self
-                .engine
-                .actor::<Switch>(sw)
-                .forwarded();
+            r.switch_packets_forwarded += self.engine.actor::<Switch>(sw).forwarded();
         }
         r.nodes = self.nodes.len();
         r.switches = self.switches.len();

@@ -61,6 +61,10 @@ pub struct HcaCore {
     host_cpu: SerialResource,
     packets_sent: u64,
     packets_received: u64,
+    /// Fragment-train emission for QPs created on this HCA. On by default;
+    /// [`crate::fabric::FabricBuilder::finish`] clears it when the topology
+    /// cannot carry trains exactly (shared switch ports, injected loss).
+    coalescing: bool,
 }
 
 impl HcaCore {
@@ -76,6 +80,16 @@ impl HcaCore {
             host_cpu: SerialResource::new(Rate::INFINITE),
             packets_sent: 0,
             packets_received: 0,
+            coalescing: true,
+        }
+    }
+
+    /// Enable/disable fragment-train emission for this HCA's QPs (existing
+    /// and future ones).
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.coalescing = on;
+        for qp in &mut self.qps {
+            qp.set_coalescing(on);
         }
     }
 
@@ -92,7 +106,9 @@ impl HcaCore {
     /// Create a QP; QPNs are assigned densely from 0.
     pub fn create_qp(&mut self, cfg: QpConfig) -> Qpn {
         let qpn = Qpn(self.qps.len() as u32);
-        self.qps.push(Qp::new(qpn, cfg, self.lid));
+        let mut qp = Qp::new(qpn, cfg, self.lid);
+        qp.set_coalescing(self.coalescing);
+        self.qps.push(qp);
         self.rto_timers.push(None);
         qpn
     }
@@ -187,14 +203,17 @@ impl HcaCore {
             .port
             .as_mut()
             .expect("HCA port not wired — did you call FabricBuilder::finish?");
+        let peer = port.peer;
         for pkt in out.packets.drain(..) {
-            self.packets_sent += 1;
-            if let Some((arrival, pkt)) = port.transmit(ready, pkt) {
-                ctx.send_at(port.peer, pkt, arrival);
-            }
+            self.packets_sent += pkt.count as u64;
+            port.transmit_seq(ready, pkt, &mut |arrival, p| ctx.send_at(peer, p, arrival));
         }
         for c in out.completions.drain(..) {
-            ctx.send(ctx.self_id(), Box::new(CompletionDelivery(c)), self.cfg.cq_latency);
+            ctx.send(
+                ctx.self_id(),
+                Box::new(CompletionDelivery(c)),
+                self.cfg.cq_latency,
+            );
         }
         if !out.tx_completions.is_empty() {
             // Wire-out completions (UD sends): valid once this flush's
@@ -212,8 +231,26 @@ impl HcaCore {
 
     /// Handle a packet arriving from the wire.
     fn handle_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
-        self.packets_received += 1;
         debug_assert_eq!(pkt.dst_lid, self.lid, "packet routed to wrong HCA");
+        if pkt.is_train() && pkt.gap_ns > 0 {
+            // A train's head just arrived; its protocol outcome (cumulative
+            // ACK, completion, assembly advance) belongs to the *tail*
+            // arrival instant, exactly when the last per-fragment delivery
+            // would have happened. Re-deliver to ourselves at the tail with
+            // the gap zeroed as the deferral-done marker. The whole train is
+            // counted here, once.
+            self.packets_received += pkt.count as u64;
+            let tail = Dur::from_ns(pkt.gap_ns) * (pkt.count as u64 - 1);
+            let mut pkt = pkt;
+            pkt.gap_ns = 0;
+            let me = ctx.self_id();
+            ctx.send(me, pkt, tail);
+            return;
+        }
+        if !pkt.is_train() {
+            self.packets_received += 1;
+        }
+        let train_count = pkt.count;
         let qpn = pkt.dst_qpn;
         let consumes_recv = matches!(
             pkt.opcode,
@@ -231,15 +268,15 @@ impl HcaCore {
         };
         let port = self.port.as_mut().expect("HCA port not wired");
         if port.credited() {
+            debug_assert_eq!(train_count, 1, "trains never cross credited links");
             // Our receive buffer is drained: return the link-level credit.
             let latency = port.config().latency;
             ctx.send(port.peer, Box::new(CreditMsg), latency);
         }
+        let peer = port.peer;
         for p in out.packets.drain(..) {
-            self.packets_sent += 1;
-            if let Some((arrival, p)) = port.transmit(now, p) {
-                ctx.send_at(port.peer, p, arrival);
-            }
+            self.packets_sent += p.count as u64;
+            port.transmit_seq(now, p, &mut |arrival, p| ctx.send_at(peer, p, arrival));
         }
         for c in out.completions.drain(..) {
             ctx.send(
@@ -394,8 +431,11 @@ mod tests {
         }
     }
 
-    fn pair() -> (crate::fabric::Fabric, crate::fabric::NodeHandle, crate::fabric::NodeHandle)
-    {
+    fn pair() -> (
+        crate::fabric::Fabric,
+        crate::fabric::NodeHandle,
+        crate::fabric::NodeHandle,
+    ) {
         let mut b = FabricBuilder::new(2);
         let a = b.add_hca(HcaConfig::default(), Box::new(Recorder::new()));
         let c = b.add_hca(HcaConfig::default(), Box::new(Recorder::new()));

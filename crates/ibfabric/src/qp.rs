@@ -20,9 +20,9 @@
 use crate::packet::{Opcode, Packet, Position};
 use crate::types::Lid;
 use crate::verbs::{Completion, RecvWr, SendKind, SendWr};
-use bytes::BytesMut;
 #[cfg(test)]
 use bytes::Bytes;
+use bytes::BytesMut;
 use simcore::Dur;
 use std::collections::VecDeque;
 
@@ -72,6 +72,11 @@ pub struct QpConfig {
     /// exceed the worst-case RTT of the deployment (IB encodes this as the
     /// "local ACK timeout"; 2000 km of fiber needs > 20 ms).
     pub rto: Dur,
+    /// Minimum run of contiguous full-MTU fragments of one message before
+    /// the sender emits a fragment *train* (one [`Packet`] with `count > 1`)
+    /// instead of individual packets. Only meaningful once the HCA enables
+    /// coalescing on the QP; values below 2 behave as 2.
+    pub coalesce_min_frags: u32,
 }
 
 impl QpConfig {
@@ -85,6 +90,7 @@ impl QpConfig {
             max_outstanding_reads: 4,
             notify_silent_writes: false,
             rto: Dur::from_ms(60),
+            coalesce_min_frags: 2,
         }
     }
 
@@ -98,6 +104,7 @@ impl QpConfig {
             max_outstanding_reads: 0,
             notify_silent_writes: false,
             rto: Dur::from_ms(60),
+            coalesce_min_frags: 2,
         }
     }
 
@@ -192,6 +199,10 @@ pub struct Qp {
     last_fire_progress: u64,
     timer_armed: bool,
     retransmit_rounds: u64,
+    /// Emit fragment trains (see [`Packet::count`]). Off by default so the
+    /// raw state machine is per-fragment; [`crate::hca::HcaCore`] turns it on
+    /// when the surrounding fabric can carry trains exactly.
+    coalesce: bool,
     // --- receiver state ---
     rq: VecDeque<RecvWr>,
     /// Next sender message id this receiver will accept (go-back-N).
@@ -229,6 +240,7 @@ impl Qp {
             last_fire_progress: 0,
             timer_armed: false,
             retransmit_rounds: 0,
+            coalesce: false,
             rq: VecDeque::new(),
             expected_msg_id: 0,
             assembling: None,
@@ -310,6 +322,10 @@ impl Qp {
     pub fn gap_drops(&self) -> u64 {
         self.gap_drops
     }
+    /// Enable or disable fragment-train emission on this QP.
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.coalesce = on;
+    }
 
     /// Post a receive WQE.
     pub fn post_recv(&mut self, wr: RecvWr) {
@@ -362,6 +378,9 @@ impl Qp {
             msg_len: wr.len,
             offset: 0,
             imm: wr.imm,
+            count: 1,
+            stride: 0,
+            gap_ns: 0,
             data: wr.data.clone(),
         });
         // UD completes when the datagram has left the port (DMA done).
@@ -435,6 +454,9 @@ impl Qp {
             msg_len: len,
             offset: 0,
             imm,
+            count: 1,
+            stride: 0,
+            gap_ns: 0,
             data: None,
         });
     }
@@ -497,18 +519,56 @@ impl Qp {
         // message length it is the full payload and is sliced per fragment
         // (integrity tests); otherwise it is small ULP metadata (e.g. a TCP
         // or RPC header) attached whole to the final fragment.
-        let integrity = wr
-            .data
-            .as_ref()
-            .is_some_and(|d| d.len() == wr.len as usize);
-        for idx in 0..count {
+        let integrity = wr.data.as_ref().is_some_and(|d| d.len() == wr.len as usize);
+        let mut start_idx = 0;
+        if self.coalesce {
+            // Train members must be equal-size (full MTU), and a fragment
+            // carrying whole metadata must stay out (train data is either
+            // absent or sliced per member by `stride`).
+            let metadata_last = wr.data.is_some() && !integrity;
+            let mut train_len = (wr.len / mtu).min(count);
+            if metadata_last && train_len == count {
+                train_len -= 1;
+            }
+            if train_len >= self.cfg.coalesce_min_frags.max(2) {
+                let position = Position::of(0, count);
+                let opcode = match wr.kind {
+                    SendKind::Send => Opcode::RcSend { position },
+                    SendKind::RdmaWrite => Opcode::RcWrite { position },
+                    SendKind::RdmaRead => unreachable!("reads emit a request"),
+                };
+                let data = match &wr.data {
+                    Some(d) if integrity => Some(d.slice(0..(train_len * mtu) as usize)),
+                    _ => None,
+                };
+                let psn = self.next_psn;
+                self.next_psn = self.next_psn.wrapping_add(train_len);
+                out.packets.push(Packet {
+                    dst_lid: remote.0,
+                    src_lid: self.local_lid,
+                    dst_qpn: remote.1,
+                    src_qpn: self.qpn,
+                    opcode,
+                    psn,
+                    payload: mtu,
+                    msg_id,
+                    msg_len: wr.len,
+                    offset: 0,
+                    imm: wr.imm,
+                    count: train_len,
+                    stride: mtu,
+                    gap_ns: 0,
+                    data,
+                });
+                start_idx = train_len;
+            }
+        }
+        for idx in start_idx..count {
             let offset = idx * mtu;
             let payload = (wr.len - offset).min(mtu);
             let position = Position::of(idx, count);
             let data = match &wr.data {
-                Some(d) if integrity => {
-                    Some(d.slice(offset as usize..(offset + payload) as usize))
-                }
+                Some(d) if integrity => Some(d.slice(offset as usize..(offset + payload) as usize)),
                 Some(d) if position.is_last() => Some(d.clone()),
                 _ => None,
             };
@@ -529,6 +589,9 @@ impl Qp {
                 msg_len: wr.len,
                 offset,
                 imm: wr.imm,
+                count: 1,
+                stride: 0,
+                gap_ns: 0,
                 data,
             });
         }
@@ -541,6 +604,17 @@ impl Qp {
             "packet for {:?} before RTR",
             self.qpn
         );
+        if pkt.is_train() {
+            // Fragment trains are unpacked analytically: the handlers below
+            // reproduce, counter for counter and ACK for ACK, what `count`
+            // sequential per-fragment deliveries would have done.
+            return match pkt.opcode {
+                Opcode::RcSend { .. } => self.on_data_train(pkt, true, out),
+                Opcode::RcWrite { .. } => self.on_data_train(pkt, false, out),
+                Opcode::RcReadResponse { .. } => self.on_read_response_train(pkt, out),
+                _ => unreachable!("only RC data opcodes form trains"),
+            };
+        }
         match pkt.opcode {
             Opcode::UdSend => self.on_ud(pkt, out),
             Opcode::RcAck => self.on_ack(pkt, out),
@@ -618,41 +692,111 @@ impl Qp {
             asm.data.extend_from_slice(d);
         }
         if position.is_last() {
-            let asm = self.assembling.take().unwrap();
-            debug_assert_eq!(asm.received, asm.msg_len, "short message");
-            self.expected_msg_id += 1;
-            // Hardware-generated cumulative ACK for the whole message.
-            let ack = self.make_ack(asm.msg_id, asm.src);
-            out.packets.push(ack);
-            if asm.consumes_recv {
-                let wr = self.rq.pop_front().unwrap_or_else(|| {
-                    panic!(
-                        "RC message on {:?} with no posted receive (ULP must pre-post)",
-                        self.qpn
-                    )
-                });
-                let data = if asm.data.is_empty() {
-                    None
-                } else {
-                    Some(asm.data.freeze())
-                };
-                out.completions.push(Completion::RecvDone {
-                    qpn: self.qpn,
-                    wr_id: wr.wr_id,
-                    len: asm.msg_len,
-                    imm: asm.imm,
-                    src: asm.src,
-                    data,
-                });
+            self.finish_assembly(out);
+        }
+    }
+
+    /// The final fragment of the expected message arrived: deliver it.
+    /// Shared by the per-fragment path and the train tail.
+    fn finish_assembly(&mut self, out: &mut QpOutput) {
+        let asm = self.assembling.take().unwrap();
+        debug_assert_eq!(asm.received, asm.msg_len, "short message");
+        self.expected_msg_id += 1;
+        // Hardware-generated cumulative ACK for the whole message.
+        let ack = self.make_ack(asm.msg_id, asm.src);
+        out.packets.push(ack);
+        if asm.consumes_recv {
+            let wr = self.rq.pop_front().unwrap_or_else(|| {
+                panic!(
+                    "RC message on {:?} with no posted receive (ULP must pre-post)",
+                    self.qpn
+                )
+            });
+            let data = if asm.data.is_empty() {
+                None
             } else {
-                self.rdma_bytes_received += asm.msg_len as u64;
-                if self.cfg.notify_silent_writes {
-                    out.completions.push(Completion::WriteArrived {
-                        qpn: self.qpn,
-                        len: asm.msg_len,
-                    });
-                }
+                Some(asm.data.freeze())
+            };
+            out.completions.push(Completion::RecvDone {
+                qpn: self.qpn,
+                wr_id: wr.wr_id,
+                len: asm.msg_len,
+                imm: asm.imm,
+                src: asm.src,
+                data,
+            });
+        } else {
+            self.rdma_bytes_received += asm.msg_len as u64;
+            if self.cfg.notify_silent_writes {
+                out.completions.push(Completion::WriteArrived {
+                    qpn: self.qpn,
+                    len: asm.msg_len,
+                });
             }
+        }
+    }
+
+    /// Receive a fragment train of Send/Write data: the analytic equivalent
+    /// of `count` consecutive [`Qp::on_data`] calls. Train members are
+    /// contiguous equal-size fragments of one message, so the go-back-N
+    /// outcome is all-or-nothing: either every member extends the assembly,
+    /// or every member takes the same dup/gap branch the per-fragment path
+    /// would have taken.
+    fn on_data_train(&mut self, pkt: Packet, is_send: bool, out: &mut QpOutput) {
+        let n = pkt.count as u64;
+        let src = (pkt.src_lid, pkt.src_qpn);
+        if pkt.msg_id < self.expected_msg_id {
+            // Retransmitted duplicates; re-ACK cumulatively if the train tail
+            // is the message's Last fragment (as on_data does per fragment).
+            self.dup_fragments += n;
+            if pkt.tail_is_last() {
+                let ack = self.make_ack(self.expected_msg_id - 1, src);
+                out.packets.push(ack);
+            }
+            return;
+        }
+        if pkt.msg_id > self.expected_msg_id {
+            self.gap_drops += n;
+            if let Some(asm) = self.assembling.as_mut() {
+                asm.poisoned = true;
+            }
+            return;
+        }
+        let consumes_recv = is_send || pkt.imm != u64::MAX;
+        if pkt.offset == 0 {
+            // Head is a First fragment: (re)start assembly.
+            self.assembling = Some(Assembly {
+                msg_id: pkt.msg_id,
+                msg_len: pkt.msg_len,
+                received: 0,
+                imm: pkt.imm,
+                src,
+                consumes_recv,
+                data: BytesMut::new(),
+                expected_offset: 0,
+                poisoned: false,
+            });
+        }
+        let Some(asm) = self.assembling.as_mut() else {
+            // Mid-message train whose First was lost: every member dropped.
+            self.gap_drops += n;
+            return;
+        };
+        if asm.poisoned || asm.expected_offset != pkt.offset {
+            // The head mismatches, so every later member hits the poisoned
+            // branch too.
+            asm.poisoned = true;
+            self.gap_drops += n;
+            return;
+        }
+        let bytes = pkt.count * pkt.stride;
+        asm.received += bytes;
+        asm.expected_offset += bytes;
+        if let Some(d) = pkt.data.as_ref() {
+            asm.data.extend_from_slice(d);
+        }
+        if pkt.tail_is_last() {
+            self.finish_assembly(out);
         }
     }
 
@@ -669,6 +813,9 @@ impl Qp {
             msg_len: 0,
             offset: 0,
             imm: u64::MAX,
+            count: 1,
+            stride: 0,
+            gap_ns: 0,
             data: None,
         }
     }
@@ -711,7 +858,35 @@ impl Qp {
         };
         let mtu = self.cfg.mtu;
         let count = (wr.len.max(1)).div_ceil(mtu).max(1);
-        for idx in 0..count {
+        let mut start_idx = 0;
+        if self.coalesce {
+            let train_len = (wr.len / mtu).min(count);
+            if train_len >= self.cfg.coalesce_min_frags.max(2) {
+                let psn = self.next_psn;
+                self.next_psn = self.next_psn.wrapping_add(train_len);
+                out.packets.push(Packet {
+                    dst_lid: remote.0,
+                    src_lid: self.local_lid,
+                    dst_qpn: remote.1,
+                    src_qpn: self.qpn,
+                    opcode: Opcode::RcReadResponse {
+                        position: Position::of(0, count),
+                    },
+                    psn,
+                    payload: mtu,
+                    msg_id: pkt.msg_id,
+                    msg_len: wr.len,
+                    offset: 0,
+                    imm: u64::MAX,
+                    count: train_len,
+                    stride: mtu,
+                    gap_ns: 0,
+                    data: None,
+                });
+                start_idx = train_len;
+            }
+        }
+        for idx in start_idx..count {
             let offset = idx * mtu;
             let payload = (wr.len - offset).min(mtu);
             out.packets.push(Packet {
@@ -728,6 +903,9 @@ impl Qp {
                 msg_len: wr.len,
                 offset,
                 imm: u64::MAX,
+                count: 1,
+                stride: 0,
+                gap_ns: 0,
                 data: None,
             });
         }
@@ -770,18 +948,66 @@ impl Qp {
         asm.received += pkt.payload;
         asm.expected_offset += pkt.payload;
         if position.is_last() {
-            let asm = self.read_assembling.take().unwrap();
-            debug_assert_eq!(asm.received, asm.msg_len);
-            let done = self.inflight_reads.pop_front().unwrap();
-            self.progress_seq += 1;
-            out.completions.push(Completion::SendDone {
-                qpn: self.qpn,
-                wr_id: done.wr.wr_id,
-                kind: SendKind::RdmaRead,
-                len: done.wr.len,
+            self.finish_read_assembly(out);
+        }
+    }
+
+    /// The final read-response fragment arrived: complete the oldest read.
+    /// Shared by the per-fragment path and the train tail.
+    fn finish_read_assembly(&mut self, out: &mut QpOutput) {
+        let asm = self.read_assembling.take().unwrap();
+        debug_assert_eq!(asm.received, asm.msg_len);
+        let done = self.inflight_reads.pop_front().unwrap();
+        self.progress_seq += 1;
+        out.completions.push(Completion::SendDone {
+            qpn: self.qpn,
+            wr_id: done.wr.wr_id,
+            kind: SendKind::RdmaRead,
+            len: done.wr.len,
+        });
+        self.pump(out);
+        self.maybe_disarm(out);
+    }
+
+    /// Receive a read-response fragment train: the analytic equivalent of
+    /// `count` consecutive [`Qp::on_read_response`] calls.
+    fn on_read_response_train(&mut self, pkt: Packet, out: &mut QpOutput) {
+        let n = pkt.count as u64;
+        let stale = match self.inflight_reads.front() {
+            None => true,
+            Some(front) => pkt.msg_id != front.msg_id,
+        };
+        if stale {
+            self.dup_fragments += n;
+            return;
+        }
+        if pkt.offset == 0 {
+            self.read_assembling = Some(Assembly {
+                msg_id: pkt.msg_id,
+                msg_len: pkt.msg_len,
+                received: 0,
+                imm: u64::MAX,
+                src: (pkt.src_lid, pkt.src_qpn),
+                consumes_recv: false,
+                data: BytesMut::new(),
+                expected_offset: 0,
+                poisoned: false,
             });
-            self.pump(out);
-            self.maybe_disarm(out);
+        }
+        let Some(asm) = self.read_assembling.as_mut() else {
+            self.gap_drops += n;
+            return;
+        };
+        if asm.poisoned || asm.msg_id != pkt.msg_id || asm.expected_offset != pkt.offset {
+            asm.poisoned = true;
+            self.gap_drops += n;
+            return;
+        }
+        let bytes = pkt.count * pkt.stride;
+        asm.received += bytes;
+        asm.expected_offset += bytes;
+        if pkt.tail_is_last() {
+            self.finish_read_assembly(out);
         }
     }
 }
@@ -800,7 +1026,11 @@ mod tests {
 
     /// Shuttle packets between two QPs until quiescent; returns completions
     /// per side.
-    fn run_to_quiescence(a: &mut Qp, b: &mut Qp, mut out_a: QpOutput) -> (Vec<Completion>, Vec<Completion>) {
+    pub(super) fn run_to_quiescence(
+        a: &mut Qp,
+        b: &mut Qp,
+        mut out_a: QpOutput,
+    ) -> (Vec<Completion>, Vec<Completion>) {
         let mut comps_a = std::mem::take(&mut out_a.completions);
         let mut comps_b = Vec::new();
         let mut to_b: VecDeque<Packet> = out_a.packets.into();
@@ -838,19 +1068,36 @@ mod tests {
         assert_eq!(out.packets.len(), 3);
         assert!(matches!(
             out.packets[0].opcode,
-            Opcode::RcSend { position: Position::First }
+            Opcode::RcSend {
+                position: Position::First
+            }
         ));
         assert!(matches!(
             out.packets[2].opcode,
-            Opcode::RcSend { position: Position::Last }
+            Opcode::RcSend {
+                position: Position::Last
+            }
         ));
         let (ca, cb) = run_to_quiescence(&mut a, &mut b, out);
         assert_eq!(ca.len(), 1);
-        assert!(matches!(ca[0], Completion::SendDone { wr_id: 5, len: 5000, .. }));
+        assert!(matches!(
+            ca[0],
+            Completion::SendDone {
+                wr_id: 5,
+                len: 5000,
+                ..
+            }
+        ));
         assert_eq!(cb.len(), 1);
-        assert!(
-            matches!(cb[0], Completion::RecvDone { wr_id: 77, len: 5000, imm: 42, .. })
-        );
+        assert!(matches!(
+            cb[0],
+            Completion::RecvDone {
+                wr_id: 77,
+                len: 5000,
+                imm: 42,
+                ..
+            }
+        ));
         assert_eq!(a.inflight_msgs(), 0);
     }
 
@@ -923,7 +1170,14 @@ mod tests {
         a.post_send(SendWr::rdma_write_imm(1, 4096, 1234), &mut out);
         let (_ca, cb) = run_to_quiescence(&mut a, &mut b, out);
         assert_eq!(cb.len(), 1);
-        assert!(matches!(cb[0], Completion::RecvDone { imm: 1234, len: 4096, .. }));
+        assert!(matches!(
+            cb[0],
+            Completion::RecvDone {
+                imm: 1234,
+                len: 4096,
+                ..
+            }
+        ));
         assert_eq!(b.posted_recvs(), 0);
     }
 
@@ -938,7 +1192,12 @@ mod tests {
         assert_eq!(ca.len(), 1);
         assert!(matches!(
             ca[0],
-            Completion::SendDone { wr_id: 3, kind: SendKind::RdmaRead, len: 10_000, .. }
+            Completion::SendDone {
+                wr_id: 3,
+                kind: SendKind::RdmaRead,
+                len: 10_000,
+                ..
+            }
         ));
     }
 
@@ -990,6 +1249,9 @@ mod tests {
                 msg_len: 100,
                 offset: 0,
                 imm: 0,
+                count: 1,
+                stride: 0,
+                gap_ns: 0,
                 data: None,
             },
             &mut out,
@@ -1002,9 +1264,15 @@ mod tests {
     fn inline_data_reassembled_in_order() {
         let (mut a, mut b) = rc_pair();
         b.post_recv(RecvWr { wr_id: 0 });
-        let payload: Bytes = (0..5000u32).map(|i| (i % 251) as u8).collect::<Vec<_>>().into();
+        let payload: Bytes = (0..5000u32)
+            .map(|i| (i % 251) as u8)
+            .collect::<Vec<_>>()
+            .into();
         let mut out = QpOutput::default();
-        a.post_send(SendWr::send(1, 5000, 0).with_data(payload.clone()), &mut out);
+        a.post_send(
+            SendWr::send(1, 5000, 0).with_data(payload.clone()),
+            &mut out,
+        );
         let (_ca, cb) = run_to_quiescence(&mut a, &mut b, out);
         match &cb[0] {
             Completion::RecvDone { data: Some(d), .. } => assert_eq!(d, &payload),
@@ -1021,12 +1289,20 @@ mod tests {
         assert_eq!(out.packets.len(), 1);
         let (ca, cb) = run_to_quiescence(&mut a, &mut b, out);
         assert_eq!(ca.len(), 1);
-        assert!(matches!(cb[0], Completion::RecvDone { len: 0, imm: 11, .. }));
+        assert!(matches!(
+            cb[0],
+            Completion::RecvDone {
+                len: 0,
+                imm: 11,
+                ..
+            }
+        ));
     }
 }
 
 #[cfg(test)]
 mod reliability_tests {
+    use super::tests::run_to_quiescence;
     use super::*;
 
     fn rc_pair() -> (Qp, Qp) {
@@ -1066,8 +1342,8 @@ mod reliability_tests {
         b.on_packet(pkt.clone(), &mut rx);
         assert_eq!(rx.completions.len(), 1);
         assert_eq!(rx.packets.len(), 1); // the ACK
-        // The same message arrives again (retransmitted because the ACK was
-        // lost): no second delivery, but a fresh cumulative ACK.
+                                         // The same message arrives again (retransmitted because the ACK was
+                                         // lost): no second delivery, but a fresh cumulative ACK.
         let mut rx2 = QpOutput::default();
         b.on_packet(pkt, &mut rx2);
         assert!(rx2.completions.is_empty());
@@ -1098,6 +1374,9 @@ mod reliability_tests {
             msg_len: 0,
             offset: 0,
             imm: u64::MAX,
+            count: 1,
+            stride: 0,
+            gap_ns: 0,
             data: None,
         };
         let mut rx = QpOutput::default();
@@ -1127,7 +1406,12 @@ mod reliability_tests {
         assert_eq!(rx2.completions.len(), 1);
         assert!(matches!(
             rx2.completions[0],
-            Completion::RecvDone { wr_id: 7, len: 5000, imm: 42, .. }
+            Completion::RecvDone {
+                wr_id: 7,
+                len: 5000,
+                imm: 42,
+                ..
+            }
         ));
     }
 
@@ -1171,11 +1455,148 @@ mod reliability_tests {
             msg_len: 0,
             offset: 0,
             imm: u64::MAX,
+            count: 1,
+            stride: 0,
+            gap_ns: 0,
             data: None,
         };
         let mut out = QpOutput::default();
         a.on_packet(ack, &mut out); // nothing in flight: no panic, no effect
         assert!(out.completions.is_empty());
+    }
+
+    /// The whole first emission is lost; the RTO fires, the retransmitted
+    /// copy delivers exactly once, and when the original copy finally limps
+    /// in it is discarded as duplicates with one cumulative re-ACK (our ACK
+    /// might have been the casualty).
+    #[test]
+    fn rto_retransmission_delivers_exactly_once() {
+        let (mut a, mut b) = rc_pair();
+        b.post_recv(RecvWr { wr_id: 9 });
+        let mut out = QpOutput::default();
+        a.post_send(SendWr::send(0, 5000, 7), &mut out); // 3 fragments
+        assert!(out.arm_retransmit);
+        let mut rt = QpOutput::default();
+        a.on_retransmit_timer(&mut rt);
+        assert_eq!(rt.packets.len(), 3, "go-back-N re-emits the whole message");
+        assert_eq!(a.retransmit_rounds(), 1);
+        let (ca, cb) = run_to_quiescence(&mut a, &mut b, rt);
+        assert_eq!(ca.len(), 1);
+        assert_eq!(cb.len(), 1);
+        assert!(matches!(
+            cb[0],
+            Completion::RecvDone {
+                wr_id: 9,
+                len: 5000,
+                imm: 7,
+                ..
+            }
+        ));
+        assert_eq!(a.inflight_msgs(), 0);
+        // The delayed original arrives after delivery: pure duplicates.
+        let mut rx = QpOutput::default();
+        for p in &out.packets {
+            b.on_packet(p.clone(), &mut rx);
+        }
+        assert!(rx.completions.is_empty(), "duplicate copy was delivered");
+        assert_eq!(b.dup_fragments(), 3);
+        let reacks = rx
+            .packets
+            .iter()
+            .filter(|p| matches!(p.opcode, Opcode::RcAck))
+            .count();
+        assert_eq!(reacks, 1, "exactly one cumulative re-ACK, on the tail");
+    }
+
+    /// Losing the *First* fragment leaves no assembly to extend: the rest of
+    /// the message must be ignored (counted as gap drops, never ACKed) until
+    /// the retransmitted First restarts assembly.
+    #[test]
+    fn fragments_after_lost_first_are_ignored_until_retransmission() {
+        let (mut a, mut b) = rc_pair();
+        b.post_recv(RecvWr { wr_id: 3 });
+        let mut out = QpOutput::default();
+        a.post_send(SendWr::send(0, 5000, 1), &mut out); // 3 fragments
+        assert_eq!(out.packets.len(), 3);
+        let mut rx = QpOutput::default();
+        b.on_packet(out.packets[1].clone(), &mut rx); // Middle, First lost
+        b.on_packet(out.packets[2].clone(), &mut rx); // Last
+        assert!(rx.completions.is_empty(), "headless message delivered");
+        assert!(rx.packets.is_empty(), "ACKed a message with no First");
+        assert_eq!(b.gap_drops(), 2);
+        // The RTO re-emits from the First; assembly restarts and completes.
+        let mut rt = QpOutput::default();
+        a.on_retransmit_timer(&mut rt);
+        let (ca, cb) = run_to_quiescence(&mut a, &mut b, rt);
+        assert_eq!(ca.len(), 1);
+        assert_eq!(cb.len(), 1);
+        assert!(matches!(
+            cb[0],
+            Completion::RecvDone {
+                wr_id: 3,
+                len: 5000,
+                imm: 1,
+                ..
+            }
+        ));
+    }
+
+    /// Whole-fabric RTO exercise at a Longbow-class WAN delay: with a
+    /// 100 µs one-way link and an RTO shorter than the RTT, every ACK loses
+    /// the race at least once, so the timer genuinely fires mid-flight.
+    /// Retransmissions show up as duplicates at the receiver, yet each
+    /// message still delivers exactly once.
+    #[test]
+    fn wan_rtt_longer_than_rto_retransmits_but_delivers_once() {
+        use crate::fabric::FabricBuilder;
+        use crate::hca::HcaConfig;
+        use crate::link::LinkConfig;
+        use crate::perftest::{rc_qp_pair, BwConfig, BwPeer};
+        use simcore::Rate;
+
+        let msgs = 4u64;
+        let mut builder = FabricBuilder::new(11);
+        builder.set_coalescing(true); // independent of the process default
+        let n1 = builder.add_hca(
+            HcaConfig::default(),
+            Box::new(BwPeer::sender(BwConfig::new(65536, msgs))),
+        );
+        let n2 = builder.add_hca(HcaConfig::default(), Box::new(BwPeer::receiver()));
+        builder.link(
+            n1.actor,
+            n2.actor,
+            LinkConfig {
+                rate: Rate::from_gbps(8),
+                latency: Dur::from_us(100),
+                credit_packets: None,
+            },
+        );
+        let mut f = builder.finish();
+        let cfg = QpConfig {
+            rto: Dur::from_us(50), // RTT is ~200 µs: the timer always fires
+            ..QpConfig::rc()
+        };
+        let (qa, qb) = rc_qp_pair(&mut f, n1, n2, cfg);
+        f.hca_mut(n1).ulp_mut::<BwPeer>().qpn = qa;
+        f.hca_mut(n2).ulp_mut::<BwPeer>().qpn = qb;
+        f.run();
+        assert_eq!(
+            f.hca(n2).ulp::<BwPeer>().received(),
+            msgs,
+            "each message must deliver exactly once despite retransmission"
+        );
+        let sender = f.hca(n1).core().qp(qa);
+        let receiver = f.hca(n2).core().qp(qb);
+        assert!(
+            sender.retransmit_rounds() >= 1,
+            "RTO below RTT must fire: {} rounds",
+            sender.retransmit_rounds()
+        );
+        assert!(
+            receiver.dup_fragments() > 0,
+            "retransmitted fragments must be discarded as duplicates"
+        );
+        assert_eq!(receiver.gap_drops(), 0, "nothing was actually lost");
     }
 }
 

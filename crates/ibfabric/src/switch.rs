@@ -73,10 +73,7 @@ impl Default for Switch {
 
 impl Switch {
     fn port_to(&mut self, peer: ActorId) -> Option<&mut EgressPort> {
-        self.ports
-            .iter_mut()
-            .flatten()
-            .find(|p| p.peer == peer)
+        self.ports.iter_mut().flatten().find(|p| p.peer == peer)
     }
 }
 
@@ -86,6 +83,7 @@ impl Actor for Switch {
         // return the link-level credit to the upstream neighbor.
         if let Some(in_port) = self.port_to(from) {
             if in_port.credited() {
+                debug_assert_eq!(pkt.count, 1, "trains never cross credited links");
                 let latency = in_port.config().latency;
                 ctx.send(from, Box::new(CreditMsg), latency);
             }
@@ -99,21 +97,20 @@ impl Actor for Switch {
         let port = self.ports[port_idx]
             .as_mut()
             .unwrap_or_else(|| panic!("route points at unattached port {port_idx}"));
-        self.forwarded += 1;
+        self.forwarded += pkt.count as u64;
+        // The forwarding latency shifts every train member uniformly, so the
+        // inter-fragment gap survives the hop and one reservation covers the
+        // whole train.
         let ready = ctx.now() + self.fwd_latency;
-        if let Some((arrival, pkt)) = port.transmit(ready, pkt) {
-            let peer = port.peer;
-            ctx.send_at(peer, pkt, arrival);
-        }
+        let peer = port.peer;
+        port.transmit_seq(ready, pkt, &mut |arrival, p| ctx.send_at(peer, p, arrival));
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Box<dyn Any>) {
         msg.downcast::<CreditMsg>()
             .expect("switch received an unexpected control message");
         let now = ctx.now();
-        let port = self
-            .port_to(from)
-            .expect("credit from an actor on no port");
+        let port = self.port_to(from).expect("credit from an actor on no port");
         if let Some((arrival, pkt)) = port.credit_returned(now) {
             let peer = port.peer;
             ctx.send_at(peer, pkt, arrival);
@@ -156,6 +153,9 @@ mod tests {
             msg_len: payload,
             offset: 0,
             imm: 0,
+            count: 1,
+            stride: 0,
+            gap_ns: 0,
             data: None,
         }
     }

@@ -4,4 +4,4 @@
 //! can reference them without depending on the fabric model) and are
 //! re-exported here under their original paths.
 
-pub use ibwire::{ACK_BYTES, DEFAULT_MTU, Lid, RC_HEADER_BYTES, READ_REQ_BYTES, UD_HEADER_BYTES};
+pub use ibwire::{Lid, ACK_BYTES, DEFAULT_MTU, RC_HEADER_BYTES, READ_REQ_BYTES, UD_HEADER_BYTES};

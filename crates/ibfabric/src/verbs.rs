@@ -106,7 +106,11 @@ impl SendWr {
     /// header or an RPC header) that rides with the message but does not
     /// represent its payload. Must be *shorter* than the message length.
     pub fn with_meta(mut self, meta: Bytes) -> Self {
-        debug_assert_ne!(meta.len(), self.len as usize, "use with_data for full payloads");
+        debug_assert_ne!(
+            meta.len(),
+            self.len as usize,
+            "use with_data for full payloads"
+        );
         self.data = Some(meta);
         self
     }

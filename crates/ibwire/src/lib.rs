@@ -141,12 +141,32 @@ pub struct Packet {
     /// as a small header; `u64::MAX` means "none" for RDMA writes, which then
     /// complete silently at the responder).
     pub imm: u64,
-    /// Optional inline payload for data-integrity tests.
+    /// Number of back-to-back fragments this packet represents (≥ 1). A
+    /// value above 1 makes this a *fragment train*: `count` equal-size
+    /// fragments of one message with consecutive PSNs, travelling the wire
+    /// as a single event. `psn`, `offset`, `payload`, and `opcode` describe
+    /// the head fragment; [`Packet::frag`] materializes any member.
+    pub count: u32,
+    /// Train member spacing in message bytes: fragment `k` sits at
+    /// `offset + k * stride`. Equals `payload` for trains (all members are
+    /// full-size); `0` for ordinary single-fragment packets.
+    pub stride: u32,
+    /// Inter-fragment arrival spacing of the train at the current hop, in
+    /// nanoseconds: fragment `k` arrives `k * gap_ns` after the head. Each
+    /// hop rewrites it to its own egress spacing. `0` for single fragments
+    /// (and for a train whose members all arrive at one instant, which only
+    /// happens before first serialization).
+    pub gap_ns: u64,
+    /// Optional inline payload for data-integrity tests. For a train this
+    /// is either `None` or the concatenated payload of all members
+    /// (`count * stride` bytes).
     pub data: Option<Bytes>,
 }
 
 impl Packet {
-    /// Total wire size of this packet (payload + per-transport overhead).
+    /// Total wire size of one fragment (payload + per-transport overhead).
+    /// For a train this is the per-member size; see
+    /// [`Packet::train_wire_bytes`] for the whole train.
     pub fn wire_bytes(&self) -> u64 {
         let header = match self.opcode {
             Opcode::RcSend { .. } | Opcode::RcWrite { .. } | Opcode::RcReadResponse { .. } => {
@@ -157,6 +177,113 @@ impl Packet {
             Opcode::UdSend => UD_HEADER_BYTES,
         };
         header + self.payload as u64
+    }
+
+    /// Wire bytes of the entire train (all `count` members).
+    pub fn train_wire_bytes(&self) -> u64 {
+        self.count as u64 * self.wire_bytes()
+    }
+
+    /// True when this packet carries more than one fragment.
+    pub fn is_train(&self) -> bool {
+        self.count > 1
+    }
+
+    /// Message bytes covered by the train (`count * payload`).
+    pub fn train_payload_bytes(&self) -> u32 {
+        if self.count > 1 {
+            self.count * self.stride
+        } else {
+            self.payload
+        }
+    }
+
+    /// Whether the train's tail fragment completes its message.
+    pub fn tail_is_last(&self) -> bool {
+        self.offset + self.train_payload_bytes() >= self.msg_len
+    }
+
+    /// The [`Position`] of the fragment at `offset` within a message of
+    /// `msg_len` bytes carrying `payload` bytes.
+    fn position_at(offset: u32, payload: u32, msg_len: u32) -> Position {
+        let first = offset == 0;
+        let last = offset + payload >= msg_len;
+        match (first, last) {
+            (true, true) => Position::Only,
+            (true, false) => Position::First,
+            (false, true) => Position::Last,
+            (false, false) => Position::Middle,
+        }
+    }
+
+    /// Materialize member `k` of a train as a standalone single-fragment
+    /// packet — PSN, offset, position, and (for integrity payloads) the data
+    /// slice are exactly what the per-fragment path would have produced.
+    /// Used by hops that must de-coalesce (credited links, non-uniform
+    /// backlog, lossy WAN segments).
+    ///
+    /// # Panics
+    /// Debug-asserts `k < count`.
+    pub fn frag(&self, k: u32) -> Packet {
+        debug_assert!(
+            k < self.count,
+            "fragment {k} out of train of {}",
+            self.count
+        );
+        if self.count == 1 {
+            return self.clone();
+        }
+        let offset = self.offset + k * self.stride;
+        let position = Self::position_at(offset, self.stride, self.msg_len);
+        let opcode = match self.opcode {
+            Opcode::RcSend { .. } => Opcode::RcSend { position },
+            Opcode::RcWrite { .. } => Opcode::RcWrite { position },
+            Opcode::RcReadResponse { .. } => Opcode::RcReadResponse { position },
+            other => other, // non-data opcodes never form trains
+        };
+        let data = self.data.as_ref().map(|d| {
+            debug_assert_eq!(
+                d.len(),
+                (self.count * self.stride) as usize,
+                "train data must cover every member"
+            );
+            d.slice((k * self.stride) as usize..((k + 1) * self.stride) as usize)
+        });
+        Packet {
+            opcode,
+            psn: self.psn.wrapping_add(k),
+            payload: self.stride,
+            offset,
+            count: 1,
+            stride: 0,
+            gap_ns: 0,
+            data,
+            ..self.clone()
+        }
+    }
+
+    /// Debug-mode validation of the train invariants (equal-size members,
+    /// sane data coverage). Cheap no-op in release builds.
+    pub fn debug_validate_train(&self) {
+        debug_assert!(self.count >= 1, "packet must carry at least one fragment");
+        if self.count > 1 {
+            debug_assert_eq!(self.stride, self.payload, "train members are equal-size");
+            debug_assert!(self.stride > 0, "train members carry payload");
+            debug_assert!(
+                self.offset + self.count * self.stride <= self.msg_len,
+                "train overruns its message"
+            );
+            debug_assert!(
+                matches!(
+                    self.opcode,
+                    Opcode::RcSend { .. } | Opcode::RcWrite { .. } | Opcode::RcReadResponse { .. }
+                ),
+                "only data fragments form trains"
+            );
+            if let Some(d) = self.data.as_ref() {
+                debug_assert_eq!(d.len(), (self.count * self.stride) as usize);
+            }
+        }
     }
 }
 
@@ -177,6 +304,9 @@ mod tests {
             msg_len: payload,
             offset: 0,
             imm: 0,
+            count: 1,
+            stride: 0,
+            gap_ns: 0,
             data: None,
         }
     }
@@ -195,10 +325,19 @@ mod tests {
     #[test]
     fn wire_sizes() {
         assert_eq!(
-            pkt(Opcode::RcSend { position: Position::Only }, 2048).wire_bytes(),
+            pkt(
+                Opcode::RcSend {
+                    position: Position::Only
+                },
+                2048
+            )
+            .wire_bytes(),
             2048 + RC_HEADER_BYTES
         );
-        assert_eq!(pkt(Opcode::UdSend, 2048).wire_bytes(), 2048 + UD_HEADER_BYTES);
+        assert_eq!(
+            pkt(Opcode::UdSend, 2048).wire_bytes(),
+            2048 + UD_HEADER_BYTES
+        );
         assert_eq!(pkt(Opcode::RcAck, 0).wire_bytes(), ACK_BYTES);
         assert_eq!(pkt(Opcode::RcReadRequest, 0).wire_bytes(), READ_REQ_BYTES);
     }
@@ -208,6 +347,103 @@ mod tests {
         assert_eq!(format!("{}", Lid(7)), "7");
         assert_eq!(format!("{:?}", Lid(7)), "lid7");
         assert_eq!(format!("{:?}", Qpn(3)), "qp3");
+    }
+
+    /// A 3-member train of 2048-byte fragments at the head of an 8000-byte
+    /// message, starting from PSN 10.
+    fn train() -> Packet {
+        Packet {
+            opcode: Opcode::RcSend {
+                position: Position::First,
+            },
+            psn: 10,
+            payload: 2048,
+            msg_len: 8000,
+            count: 3,
+            stride: 2048,
+            gap_ns: 2090,
+            ..pkt(
+                Opcode::RcSend {
+                    position: Position::First,
+                },
+                2048,
+            )
+        }
+    }
+
+    #[test]
+    fn train_accessors() {
+        let t = train();
+        t.debug_validate_train();
+        assert!(t.is_train());
+        assert_eq!(t.train_payload_bytes(), 6144);
+        assert!(!t.tail_is_last()); // 6144 < 8000: a short tail follows
+        assert_eq!(t.train_wire_bytes(), 3 * (2048 + RC_HEADER_BYTES));
+        let single = pkt(Opcode::RcAck, 0);
+        assert!(!single.is_train());
+        assert!(single.tail_is_last()); // 0-byte message: its only packet
+        assert_eq!(single.train_payload_bytes(), 0);
+    }
+
+    #[test]
+    fn frag_reproduces_the_per_fragment_packets() {
+        let t = train();
+        for k in 0..3 {
+            let f = t.frag(k);
+            assert_eq!(f.count, 1);
+            assert_eq!(f.stride, 0);
+            assert_eq!(f.gap_ns, 0);
+            assert_eq!(f.psn, 10 + k);
+            assert_eq!(f.offset, k * 2048);
+            assert_eq!(f.payload, 2048);
+            let expect = if k == 0 {
+                Position::First
+            } else {
+                Position::Middle // 8000-byte message: none of the 3 is Last
+            };
+            assert_eq!(f.opcode, Opcode::RcSend { position: expect });
+        }
+    }
+
+    #[test]
+    fn frag_of_a_whole_message_train_ends_with_last() {
+        let mut t = train();
+        t.msg_len = 6144; // exact multiple: train covers the whole message
+        assert!(t.tail_is_last());
+        assert_eq!(
+            t.frag(2).opcode,
+            Opcode::RcSend {
+                position: Position::Last
+            }
+        );
+        assert_eq!(
+            t.frag(0).opcode,
+            Opcode::RcSend {
+                position: Position::First
+            }
+        );
+    }
+
+    #[test]
+    fn frag_slices_integrity_data() {
+        let mut t = train();
+        let bytes: Bytes = (0..6144u32)
+            .map(|i| (i % 251) as u8)
+            .collect::<Vec<_>>()
+            .into();
+        t.data = Some(bytes.clone());
+        t.debug_validate_train();
+        let f1 = t.frag(1);
+        assert_eq!(f1.data.as_deref(), Some(&bytes[2048..4096]));
+    }
+
+    #[test]
+    fn frag_of_a_single_packet_is_identity() {
+        let p = pkt(Opcode::UdSend, 512);
+        let f = p.frag(0);
+        assert_eq!(f.psn, p.psn);
+        assert_eq!(f.payload, 512);
+        assert_eq!(f.opcode, Opcode::UdSend);
     }
 
     #[test]

@@ -339,7 +339,10 @@ mod tests {
         let bw_large = f2.hca(rx2).ulp::<IpoibNode>().throughput_mbs();
         // 64 KB / 2 ms RTT ~ 32 MB/s.
         assert!(bw_small < 50.0, "64K window at 1ms: {bw_small}");
-        assert!(bw_large > 3.0 * bw_small, "1M window {bw_large} vs {bw_small}");
+        assert!(
+            bw_large > 3.0 * bw_small,
+            "1M window {bw_large} vs {bw_small}"
+        );
     }
 
     #[test]

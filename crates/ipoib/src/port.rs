@@ -107,7 +107,11 @@ impl IpoibPort {
         debug_assert!(wire_len <= self.cfg.mtu, "segment exceeds IP MTU");
         let work = self.cfg.per_packet_cpu + self.cfg.per_byte_cpu.tx_time(wire_len as u64);
         let (_, ready) = self.tx_cpu.reserve_dur(ctx.now(), work);
-        let header = SegmentHeader { stream, segment: seg }.encode();
+        let header = SegmentHeader {
+            stream,
+            segment: seg,
+        }
+        .encode();
         let mut wr = SendWr::send(0, wire_len, 0).with_meta(header);
         if self.cfg.mode == IpoibMode::Ud {
             wr = wr.to(self.peer.expect("UD IPoIB needs a peer address"));
@@ -147,8 +151,7 @@ impl IpoibPort {
                 hca.post_recv(self.qpn, RecvWr { wr_id: 0 });
                 let header =
                     SegmentHeader::decode(data.as_ref().expect("IPoIB message without header"));
-                let work =
-                    self.cfg.per_packet_cpu + self.cfg.per_byte_cpu.tx_time(*len as u64);
+                let work = self.cfg.per_packet_cpu + self.cfg.per_byte_cpu.tx_time(*len as u64);
                 let (_, finish) = self.rx_cpu.reserve_dur(ctx.now(), work);
                 self.deferred.push_back(header);
                 ctx.timer_at(finish, TOKEN_IPOIB_RX);

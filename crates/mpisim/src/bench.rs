@@ -27,11 +27,25 @@ pub fn osu_latency(spec: JobSpec, size: u32, iters: u32) -> f64 {
         let mut ops = vec![Op::Mark { id: MARK_START }];
         for _ in 0..iters {
             if rank == 0 {
-                ops.push(Op::Send { to: 1, len: size, tag: TAG_DATA });
-                ops.push(Op::Recv { from: 1, tag: TAG_DATA });
+                ops.push(Op::Send {
+                    to: 1,
+                    len: size,
+                    tag: TAG_DATA,
+                });
+                ops.push(Op::Recv {
+                    from: 1,
+                    tag: TAG_DATA,
+                });
             } else {
-                ops.push(Op::Recv { from: 0, tag: TAG_DATA });
-                ops.push(Op::Send { to: 0, len: size, tag: TAG_DATA });
+                ops.push(Op::Recv {
+                    from: 0,
+                    tag: TAG_DATA,
+                });
+                ops.push(Op::Send {
+                    to: 0,
+                    len: size,
+                    tag: TAG_DATA,
+                });
             }
         }
         ops.push(Op::Mark { id: MARK_END });
@@ -49,11 +63,27 @@ pub fn osu_bw(spec: JobSpec, size: u32, window: u32, iters: u32) -> f64 {
         let mut ops = vec![Op::Mark { id: MARK_START }];
         for _ in 0..iters {
             if rank == 0 {
-                ops.push(Op::SendWindow { to: 1, len: size, tag: TAG_DATA, count: window });
-                ops.push(Op::Recv { from: 1, tag: TAG_SYNC });
+                ops.push(Op::SendWindow {
+                    to: 1,
+                    len: size,
+                    tag: TAG_DATA,
+                    count: window,
+                });
+                ops.push(Op::Recv {
+                    from: 1,
+                    tag: TAG_SYNC,
+                });
             } else {
-                ops.push(Op::RecvWindow { from: 0, tag: TAG_DATA, count: window });
-                ops.push(Op::Send { to: 0, len: 4, tag: TAG_SYNC });
+                ops.push(Op::RecvWindow {
+                    from: 0,
+                    tag: TAG_DATA,
+                    count: window,
+                });
+                ops.push(Op::Send {
+                    to: 0,
+                    len: 4,
+                    tag: TAG_SYNC,
+                });
             }
         }
         ops.push(Op::Mark { id: MARK_END });
@@ -107,12 +137,28 @@ pub fn msg_rate(spec: JobSpec, pairs: usize, size: u32, window: u32, iters: u32)
         for _ in 0..iters {
             if rank < pairs {
                 let partner = rank + pairs;
-                ops.push(Op::SendWindow { to: partner, len: size, tag: TAG_DATA, count: window });
-                ops.push(Op::Recv { from: partner, tag: TAG_SYNC });
+                ops.push(Op::SendWindow {
+                    to: partner,
+                    len: size,
+                    tag: TAG_DATA,
+                    count: window,
+                });
+                ops.push(Op::Recv {
+                    from: partner,
+                    tag: TAG_SYNC,
+                });
             } else {
                 let partner = rank - pairs;
-                ops.push(Op::RecvWindow { from: partner, tag: TAG_DATA, count: window });
-                ops.push(Op::Send { to: partner, len: 4, tag: TAG_SYNC });
+                ops.push(Op::RecvWindow {
+                    from: partner,
+                    tag: TAG_DATA,
+                    count: window,
+                });
+                ops.push(Op::Send {
+                    to: partner,
+                    len: 4,
+                    tag: TAG_SYNC,
+                });
             }
         }
         ops.push(Op::Mark { id: MARK_END });
@@ -152,9 +198,16 @@ pub fn osu_bcast(spec: JobSpec, size: u32, iters: u32, hierarchical: bool) -> f6
                 ops.extend(coll::bcast(&members, rank, root, size, tag));
             }
             if rank == root {
-                ops.push(Op::Recv { from: designated, tag: tag + TAG_SYNC });
+                ops.push(Op::Recv {
+                    from: designated,
+                    tag: tag + TAG_SYNC,
+                });
             } else if rank == designated {
-                ops.push(Op::Send { to: root, len: 4, tag: tag + TAG_SYNC });
+                ops.push(Op::Send {
+                    to: root,
+                    len: 4,
+                    tag: tag + TAG_SYNC,
+                });
             }
         }
         ops.push(Op::Mark { id: MARK_END });
@@ -219,9 +272,7 @@ pub fn collective_latency(spec: JobSpec, kind: CollKind, len: u32, iters: u32) -
                 CollKind::AllgatherRing => {
                     ops.extend(coll::allgather_ring(&members, rank, len, tag))
                 }
-                CollKind::AllgatherRd => {
-                    ops.extend(coll::allgather_rd(&members, rank, len, tag))
-                }
+                CollKind::AllgatherRd => ops.extend(coll::allgather_rd(&members, rank, len, tag)),
             }
         }
         ops.push(Op::Mark { id: MARK_END });
@@ -352,7 +403,10 @@ mod tests {
         let flat_small = allreduce_latency(spec, 8, 3, false);
         let hier_small = allreduce_latency(spec, 8, 3, true);
         let ratio = flat_small / hier_small;
-        assert!((0.7..1.4).contains(&ratio), "small: flat {flat_small} hier {hier_small}");
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "small: flat {flat_small} hier {hier_small}"
+        );
 
         let flat_big = allreduce_latency(spec, 262_144, 3, false);
         let hier_big = allreduce_latency(spec, 262_144, 3, true);

@@ -85,9 +85,18 @@ pub fn bcast_binomial(members: &[usize], me: usize, root: usize, len: u32, tag: 
 
 /// Scatter + ring-allgather broadcast (MVAPICH2's large-message algorithm).
 /// Requires a power-of-two member count (all the paper's configurations are).
-pub fn bcast_scatter_ring(members: &[usize], me: usize, root: usize, len: u32, tag: u32) -> Vec<Op> {
+pub fn bcast_scatter_ring(
+    members: &[usize],
+    me: usize,
+    root: usize,
+    len: u32,
+    tag: u32,
+) -> Vec<Op> {
     let n = members.len();
-    assert!(n.is_power_of_two(), "scatter+ring requires power-of-two ranks");
+    assert!(
+        n.is_power_of_two(),
+        "scatter+ring requires power-of-two ranks"
+    );
     if n == 1 {
         return Vec::new();
     }
@@ -159,10 +168,7 @@ pub fn bcast_hierarchical(
     let cluster_b: Vec<usize> = (split..nranks).collect();
     let root_in_a = root < split;
     let (my_cluster, remote_leader) = if root_in_a {
-        (
-            if me < split { &cluster_a } else { &cluster_b },
-            split,
-        )
+        (if me < split { &cluster_a } else { &cluster_b }, split)
     } else {
         (if me < split { &cluster_a } else { &cluster_b }, 0)
     };
@@ -212,7 +218,10 @@ pub fn barrier(nranks: usize, me: usize, tag: u32) -> Vec<Op> {
 /// block two-cluster layout, the top round crosses the WAN on every rank —
 /// which is what makes small-allreduce-heavy codes (CG) delay-sensitive.
 pub fn allreduce(nranks: usize, me: usize, len: u32, tag: u32) -> Vec<Op> {
-    assert!(nranks.is_power_of_two(), "recursive doubling needs 2^k ranks");
+    assert!(
+        nranks.is_power_of_two(),
+        "recursive doubling needs 2^k ranks"
+    );
     let mut ops = Vec::new();
     let mut k = 1usize;
     let mut round = 0u32;
@@ -244,7 +253,11 @@ pub fn reduce_binomial(members: &[usize], me: usize, root: usize, len: u32, tag:
     while mask < n {
         if vme & mask != 0 {
             let parent = members[(vme - mask + vroot) % n];
-            ops.push(Op::Send { to: parent, len, tag });
+            ops.push(Op::Send {
+                to: parent,
+                len,
+                tag,
+            });
             break;
         }
         if vme + mask < n {
@@ -270,9 +283,16 @@ pub fn scatter(members: &[usize], me: usize, root: usize, chunk: u32, tag: u32) 
     while m >= 1 {
         let step_tag = tag + (n / 2 / m).trailing_zeros();
         if vme.is_multiple_of(2 * m) {
-            ops.push(Op::Send { to: at(vme + m), len: chunk * m as u32, tag: step_tag });
+            ops.push(Op::Send {
+                to: at(vme + m),
+                len: chunk * m as u32,
+                tag: step_tag,
+            });
         } else if vme % (2 * m) == m {
-            ops.push(Op::Recv { from: at(vme - m), tag: step_tag });
+            ops.push(Op::Recv {
+                from: at(vme - m),
+                tag: step_tag,
+            });
         }
         m /= 2;
     }
@@ -291,10 +311,17 @@ pub fn gather(members: &[usize], me: usize, root: usize, chunk: u32, tag: u32) -
     while m < n {
         let step_tag = tag + m.trailing_zeros();
         if vme % (2 * m) == m {
-            ops.push(Op::Send { to: at(vme - m), len: chunk * m as u32, tag: step_tag });
+            ops.push(Op::Send {
+                to: at(vme - m),
+                len: chunk * m as u32,
+                tag: step_tag,
+            });
             break;
         } else if vme.is_multiple_of(2 * m) {
-            ops.push(Op::Recv { from: at(vme + m), tag: step_tag });
+            ops.push(Op::Recv {
+                from: at(vme + m),
+                tag: step_tag,
+            });
         }
         m <<= 1;
     }
@@ -384,7 +411,10 @@ pub fn allreduce_hierarchical(
 /// (power-of-two ranks). Heavy WAN serialization with a block layout —
 /// the communication core of the IS and FT skeletons.
 pub fn alltoall(nranks: usize, me: usize, len_per_pair: u32, tag: u32) -> Vec<Op> {
-    assert!(nranks.is_power_of_two(), "pairwise exchange needs 2^k ranks");
+    assert!(
+        nranks.is_power_of_two(),
+        "pairwise exchange needs 2^k ranks"
+    );
     let mut children = Vec::new();
     for step in 1..nranks {
         let partner = me ^ step;
@@ -474,7 +504,11 @@ mod tests {
                     progress = true;
                 }
             }
-            if pc.iter().enumerate().all(|(r, &p)| p >= scripts[r].len() && want[r].is_none()) {
+            if pc
+                .iter()
+                .enumerate()
+                .all(|(r, &p)| p >= scripts[r].len() && want[r].is_none())
+            {
                 return bag.values().all(|&v| v == 0);
             }
             if !progress {
@@ -544,9 +578,7 @@ mod tests {
     fn hierarchical_bcast_completes() {
         for (n, split) in [(8usize, 4usize), (128, 64), (16, 8)] {
             for root in [0, split, n - 1] {
-                let s = scripts_for(n, |r| {
-                    bcast_hierarchical(n, r, root, split, 131072, 7)
-                });
+                let s = scripts_for(n, |r| bcast_hierarchical(n, r, root, split, 131072, 7));
                 assert!(run_abstract(&s), "hier n={n} split={split} root={root}");
             }
         }
@@ -571,7 +603,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(wan_messages, 1, "hierarchical bcast must cross the WAN once");
+        assert_eq!(
+            wan_messages, 1,
+            "hierarchical bcast must cross the WAN once"
+        );
     }
 
     #[test]

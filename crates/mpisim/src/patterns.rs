@@ -86,7 +86,13 @@ impl Pattern {
     pub fn to_value(&self) -> minijson::Value {
         use minijson::{obj, Value};
         match *self {
-            Pattern::Halo2d { rows, cols, face_bytes, iters, compute_us } => obj([
+            Pattern::Halo2d {
+                rows,
+                cols,
+                face_bytes,
+                iters,
+                compute_us,
+            } => obj([
                 ("pattern", Value::from("halo2d")),
                 ("rows", Value::from(rows)),
                 ("cols", Value::from(cols)),
@@ -94,21 +100,29 @@ impl Pattern {
                 ("iters", Value::from(iters)),
                 ("compute_us", Value::from(compute_us)),
             ]),
-            Pattern::MasterWorker { task_bytes, result_bytes, tasks_per_worker, compute_us } => {
-                obj([
-                    ("pattern", Value::from("master_worker")),
-                    ("task_bytes", Value::from(task_bytes)),
-                    ("result_bytes", Value::from(result_bytes)),
-                    ("tasks_per_worker", Value::from(tasks_per_worker)),
-                    ("compute_us", Value::from(compute_us)),
-                ])
-            }
+            Pattern::MasterWorker {
+                task_bytes,
+                result_bytes,
+                tasks_per_worker,
+                compute_us,
+            } => obj([
+                ("pattern", Value::from("master_worker")),
+                ("task_bytes", Value::from(task_bytes)),
+                ("result_bytes", Value::from(result_bytes)),
+                ("tasks_per_worker", Value::from(tasks_per_worker)),
+                ("compute_us", Value::from(compute_us)),
+            ]),
             Pattern::Ring { block_bytes, iters } => obj([
                 ("pattern", Value::from("ring")),
                 ("block_bytes", Value::from(block_bytes)),
                 ("iters", Value::from(iters)),
             ]),
-            Pattern::SparseRandom { degree, msg_bytes, supersteps, seed } => obj([
+            Pattern::SparseRandom {
+                degree,
+                msg_bytes,
+                supersteps,
+                seed,
+            } => obj([
                 ("pattern", Value::from("sparse_random")),
                 ("degree", Value::from(degree)),
                 ("msg_bytes", Value::from(msg_bytes)),
@@ -179,20 +193,46 @@ impl Pattern {
                 let right = at(r, (c + 1) % cols);
                 for _ in 0..iters {
                     if compute_us > 0 {
-                        ops.push(Op::Compute { dur: Dur::from_us(compute_us) });
+                        ops.push(Op::Compute {
+                            dur: Dur::from_us(compute_us),
+                        });
                     }
                     let t = tags.take();
                     // Vertical then horizontal exchange (torus).
                     if rows > 1 {
                         ops.push(Op::Concurrent(vec![
-                            Op::Exchange { to: up, from: down, len: face_bytes, tag: t, count: 1 },
-                            Op::Exchange { to: down, from: up, len: face_bytes, tag: t + 1, count: 1 },
+                            Op::Exchange {
+                                to: up,
+                                from: down,
+                                len: face_bytes,
+                                tag: t,
+                                count: 1,
+                            },
+                            Op::Exchange {
+                                to: down,
+                                from: up,
+                                len: face_bytes,
+                                tag: t + 1,
+                                count: 1,
+                            },
                         ]));
                     }
                     if cols > 1 {
                         ops.push(Op::Concurrent(vec![
-                            Op::Exchange { to: left, from: right, len: face_bytes, tag: t + 2, count: 1 },
-                            Op::Exchange { to: right, from: left, len: face_bytes, tag: t + 3, count: 1 },
+                            Op::Exchange {
+                                to: left,
+                                from: right,
+                                len: face_bytes,
+                                tag: t + 2,
+                                count: 1,
+                            },
+                            Op::Exchange {
+                                to: right,
+                                from: left,
+                                len: face_bytes,
+                                tag: t + 3,
+                                count: 1,
+                            },
                         ]));
                     }
                 }
@@ -209,19 +249,32 @@ impl Pattern {
                     if rank == 0 {
                         // Scatter this round's tasks, then collect results.
                         let sends: Vec<Op> = (1..nranks)
-                            .map(|w| Op::Send { to: w, len: task_bytes, tag })
+                            .map(|w| Op::Send {
+                                to: w,
+                                len: task_bytes,
+                                tag,
+                            })
                             .collect();
                         ops.push(Op::Concurrent(sends));
                         let recvs: Vec<Op> = (1..nranks)
-                            .map(|w| Op::Recv { from: w, tag: tag + 100_000 })
+                            .map(|w| Op::Recv {
+                                from: w,
+                                tag: tag + 100_000,
+                            })
                             .collect();
                         ops.push(Op::Concurrent(recvs));
                     } else {
                         ops.push(Op::Recv { from: 0, tag });
                         if compute_us > 0 {
-                            ops.push(Op::Compute { dur: Dur::from_us(compute_us) });
+                            ops.push(Op::Compute {
+                                dur: Dur::from_us(compute_us),
+                            });
                         }
-                        ops.push(Op::Send { to: 0, len: result_bytes, tag: tag + 100_000 });
+                        ops.push(Op::Send {
+                            to: 0,
+                            len: result_bytes,
+                            tag: tag + 100_000,
+                        });
                     }
                 }
             }
@@ -329,7 +382,10 @@ mod tests {
 
     #[test]
     fn ring_and_sparse_complete() {
-        let ring = Pattern::Ring { block_bytes: 32768, iters: 10 };
+        let ring = Pattern::Ring {
+            block_bytes: 32768,
+            iters: 10,
+        };
         assert!(run_pattern(&ring, 3, 3) > 0.0);
         let sparse = Pattern::SparseRandom {
             degree: 3,
@@ -368,7 +424,10 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        let p = Pattern::Ring { block_bytes: 100, iters: 2 };
+        let p = Pattern::Ring {
+            block_bytes: 100,
+            iters: 2,
+        };
         let j = p.to_value().to_compact();
         let back = Pattern::from_value(&minijson::Value::parse(&j).unwrap()).unwrap();
         assert_eq!(back.name(), "ring");

@@ -145,10 +145,7 @@ enum WrPurpose {
     /// RPUT: sender-side RDMA write; ACK completes the MPI send.
     RndvWrite(ReqId),
     /// RGET: receiver-side RDMA read; completion finishes the MPI recv.
-    RgetRead {
-        rndv: u32,
-        peer: usize,
-    },
+    RgetRead { rndv: u32, peer: usize },
 }
 
 #[derive(Default)]
@@ -295,7 +292,11 @@ impl P2p {
         let req = self.fresh_req();
         self.bytes_sent += len as u64;
         self.msgs_sent += 1;
-        let bucket = if len == 0 { 0 } else { 32 - len.leading_zeros() as usize };
+        let bucket = if len == 0 {
+            0
+        } else {
+            32 - len.leading_zeros() as usize
+        };
         self.send_size_log2[bucket] += 1;
         self.bytes_to_peer[to] += len as u64;
         if let Some(c) = self.cfg.coalescing {
@@ -317,8 +318,8 @@ impl P2p {
             let (_, fin) = self.cpu.reserve_dur(ctx.now(), self.cfg.sw_overhead);
             let rndv = self.next_rndv;
             self.next_rndv += 1;
-            let wr = SendWr::send(0, CTRL_BYTES, 0)
-                .with_meta(MpiWire::Rts { tag, len, rndv }.encode());
+            let wr =
+                SendWr::send(0, CTRL_BYTES, 0).with_meta(MpiWire::Rts { tag, len, rndv }.encode());
             hca.post_send_after(ctx, self.qpn(to), wr, fin);
             self.rndv_out.insert(
                 rndv,
@@ -363,11 +364,10 @@ impl P2p {
         if batch.items.is_empty() {
             return;
         }
-        let wire_len = batch.bytes
-            + BATCH_HEADER_BYTES
-            + BATCH_ITEM_BYTES * batch.items.len() as u32;
-        let wr = SendWr::send(0, wire_len, 0)
-            .with_meta(MpiWire::Batch { items: batch.items }.encode());
+        let wire_len =
+            batch.bytes + BATCH_HEADER_BYTES + BATCH_ITEM_BYTES * batch.items.len() as u32;
+        let wr =
+            SendWr::send(0, wire_len, 0).with_meta(MpiWire::Batch { items: batch.items }.encode());
         hca.post_send_after(ctx, self.qpn(peer), wr, ctx.now());
     }
 
@@ -424,7 +424,8 @@ impl P2p {
                 // Zero-copy pull: RDMA-read the payload from the sender.
                 let wr_id = self.next_wr;
                 self.next_wr += 1;
-                self.wr_purpose.insert(wr_id, WrPurpose::RgetRead { rndv, peer });
+                self.wr_purpose
+                    .insert(wr_id, WrPurpose::RgetRead { rndv, peer });
                 hca.post_send(ctx, self.qpn(peer), SendWr::rdma_read(wr_id, len));
             }
         }

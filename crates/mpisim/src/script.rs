@@ -169,7 +169,12 @@ impl ScriptRunner {
                 let r = proto.irecv(hca, ctx, from, tag);
                 self.waiting.insert(r);
             }
-            Op::SendWindow { to, len, tag, count } => {
+            Op::SendWindow {
+                to,
+                len,
+                tag,
+                count,
+            } => {
                 for _ in 0..count {
                     let r = proto.isend(hca, ctx, to, tag, len);
                     self.waiting.insert(r);
@@ -198,7 +203,10 @@ impl ScriptRunner {
             Op::Concurrent(children) => {
                 for child in children {
                     assert!(
-                        !matches!(child, Op::Compute { .. } | Op::Mark { .. } | Op::Concurrent(_)),
+                        !matches!(
+                            child,
+                            Op::Compute { .. } | Op::Mark { .. } | Op::Concurrent(_)
+                        ),
                         "Concurrent children must be request-issuing ops"
                     );
                     self.issue(proto, hca, ctx, child);
@@ -224,7 +232,12 @@ mod tests {
 
     #[test]
     fn repeat_flattens() {
-        let body = [Op::Mark { id: 1 }, Op::Compute { dur: Dur::from_us(1) }];
+        let body = [
+            Op::Mark { id: 1 },
+            Op::Compute {
+                dur: Dur::from_us(1),
+            },
+        ];
         let v = repeat(&body, 3);
         assert_eq!(v.len(), 6);
         assert_eq!(v[4], Op::Mark { id: 1 });

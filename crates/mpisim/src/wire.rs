@@ -127,7 +127,9 @@ impl MpiWire {
                 len: buf.get_u32(),
                 rndv: buf.get_u32(),
             },
-            2 => MpiWire::Cts { rndv: buf.get_u32() },
+            2 => MpiWire::Cts {
+                rndv: buf.get_u32(),
+            },
             3 => MpiWire::Fin {
                 rndv: buf.get_u32(),
                 tag: buf.get_u32(),
@@ -141,7 +143,9 @@ impl MpiWire {
                 }
                 MpiWire::Batch { items }
             }
-            5 => MpiWire::Done { rndv: buf.get_u32() },
+            5 => MpiWire::Done {
+                rndv: buf.get_u32(),
+            },
             6 => MpiWire::R3Data {
                 rndv: buf.get_u32(),
                 len: buf.get_u32(),
@@ -160,12 +164,26 @@ mod tests {
     fn round_trips() {
         for w in [
             MpiWire::Eager { tag: 7, len: 4096 },
-            MpiWire::Rts { tag: 1, len: 1 << 20, rndv: 42 },
+            MpiWire::Rts {
+                tag: 1,
+                len: 1 << 20,
+                rndv: 42,
+            },
             MpiWire::Cts { rndv: 42 },
-            MpiWire::Fin { rndv: 42, tag: 1, len: 1 << 20 },
-            MpiWire::Batch { items: vec![(1, 10), (2, 20), (3, 30)] },
+            MpiWire::Fin {
+                rndv: 42,
+                tag: 1,
+                len: 1 << 20,
+            },
+            MpiWire::Batch {
+                items: vec![(1, 10), (2, 20), (3, 30)],
+            },
             MpiWire::Done { rndv: 9 },
-            MpiWire::R3Data { rndv: 9, len: 16384, last: true },
+            MpiWire::R3Data {
+                rndv: 9,
+                len: 16384,
+                last: true,
+            },
         ] {
             assert_eq!(MpiWire::decode(&w.encode()), w);
         }

@@ -230,13 +230,21 @@ mod tests {
         let mut job = MpiJob::build(spec, |rank, _| {
             let body = if rank == 0 {
                 vec![
-                    Op::Send { to: 1, len: 8, tag: 1 },
+                    Op::Send {
+                        to: 1,
+                        len: 8,
+                        tag: 1,
+                    },
                     Op::Recv { from: 1, tag: 2 },
                 ]
             } else {
                 vec![
                     Op::Recv { from: 0, tag: 1 },
-                    Op::Send { to: 0, len: 8, tag: 2 },
+                    Op::Send {
+                        to: 0,
+                        len: 8,
+                        tag: 2,
+                    },
                 ]
             };
             repeat(&body, 10)
@@ -252,7 +260,11 @@ mod tests {
         let spec = JobSpec::two_clusters(1, 1, Dur::ZERO);
         let mut job = MpiJob::build(spec, |rank, _| {
             if rank == 0 {
-                vec![Op::Send { to: 1, len: 1 << 20, tag: 1 }]
+                vec![Op::Send {
+                    to: 1,
+                    len: 1 << 20,
+                    tag: 1,
+                }]
             } else {
                 vec![Op::Recv { from: 0, tag: 1 }]
             }
@@ -279,7 +291,9 @@ mod tests {
         let mut job = MpiJob::build(spec, |_, _| {
             vec![
                 Op::Mark { id: 0 },
-                Op::Compute { dur: Dur::from_ms(3) },
+                Op::Compute {
+                    dur: Dur::from_ms(3),
+                },
                 Op::Mark { id: 1 },
             ]
         });
@@ -329,8 +343,16 @@ mod tests {
         let mut job = MpiJob::build(spec, |rank, _| {
             if rank == 0 {
                 vec![
-                    Op::Send { to: 1, len: 100, tag: 1 }, // intra-cluster
-                    Op::Send { to: 2, len: 200, tag: 2 }, // WAN
+                    Op::Send {
+                        to: 1,
+                        len: 100,
+                        tag: 1,
+                    }, // intra-cluster
+                    Op::Send {
+                        to: 2,
+                        len: 200,
+                        tag: 2,
+                    }, // WAN
                 ]
             } else if rank == 1 {
                 vec![Op::Recv { from: 0, tag: 1 }]

@@ -194,13 +194,20 @@ pub fn program(bench: NasBenchmark, rank: usize, nranks: usize) -> Vec<Op> {
     ops.extend(coll::barrier(nranks, rank, tags.take()));
     for _ in 0..p.iterations {
         if !p.compute_per_iter.is_zero() {
-            ops.push(Op::Compute { dur: p.compute_per_iter });
+            ops.push(Op::Compute {
+                dur: p.compute_per_iter,
+            });
         }
         for _ in 0..p.allreduces_per_iter {
             ops.extend(coll::allreduce(nranks, rank, p.allreduce_len, tags.take()));
         }
         if p.alltoall_per_pair > 0 {
-            ops.extend(coll::alltoall(nranks, rank, p.alltoall_per_pair, tags.take()));
+            ops.extend(coll::alltoall(
+                nranks,
+                rank,
+                p.alltoall_per_pair,
+                tags.take(),
+            ));
         }
         if p.halo_base_len > 0 {
             // 1-D ring halo: exchange with both neighbors at every level of
@@ -210,8 +217,20 @@ pub fn program(bench: NasBenchmark, rank: usize, nranks: usize) -> Vec<Op> {
             for level in 0..p.halo_levels {
                 let len = (p.halo_base_len >> level).max(64);
                 let tag = tags.take();
-                ops.push(Op::Exchange { to: right, from: left, len, tag, count: 1 });
-                ops.push(Op::Exchange { to: left, from: right, len, tag: tag + 1, count: 1 });
+                ops.push(Op::Exchange {
+                    to: right,
+                    from: left,
+                    len,
+                    tag,
+                    count: 1,
+                });
+                ops.push(Op::Exchange {
+                    to: left,
+                    from: right,
+                    len,
+                    tag: tag + 1,
+                    count: 1,
+                });
             }
         }
         if p.exchange_len > 0 {
@@ -351,7 +370,10 @@ mod tests {
         job.run();
         let hist = *job.process(0).proto.send_size_histogram();
         let small: u64 = hist[..8].iter().sum();
-        assert!(small > 20, "CG must be dominated by small messages: {small}");
+        assert!(
+            small > 20,
+            "CG must be dominated by small messages: {small}"
+        );
         let over_1m: u64 = hist[20..].iter().sum();
         assert_eq!(over_1m, 0, "CG sends nothing at or above 1 MB");
     }

@@ -71,8 +71,16 @@ mod tests {
     #[test]
     fn round_trips() {
         for m in [
-            RpcMsg::Call { xid: 7, len: 262144, write: false },
-            RpcMsg::Call { xid: 8, len: 262144, write: true },
+            RpcMsg::Call {
+                xid: 7,
+                len: 262144,
+                write: false,
+            },
+            RpcMsg::Call {
+                xid: 8,
+                len: 262144,
+                write: true,
+            },
             RpcMsg::Reply { xid: 7 },
         ] {
             assert_eq!(RpcMsg::decode(&m.encode()), m);

@@ -110,7 +110,14 @@ impl NfsServer {
         self.rpcs_served
     }
 
-    fn serve_rdma(&mut self, hca: &mut HcaCore, ctx: &mut Ctx<'_>, xid: u64, len: u32, write: bool) {
+    fn serve_rdma(
+        &mut self,
+        hca: &mut HcaCore,
+        ctx: &mut Ctx<'_>,
+        xid: u64,
+        len: u32,
+        write: bool,
+    ) {
         let (_, ready) = self.cpu.reserve_dur(ctx.now(), self.cfg.op_cpu);
         let chunks = len.div_ceil(NFS_RDMA_CHUNK);
         self.rpcs_served += 1;
@@ -164,7 +171,8 @@ impl NfsServer {
             self.call_acc[stream as usize] -= request_bytes;
             // Service cost includes the server-side data copy through the
             // socket path.
-            let work = self.cfg.op_cpu + self.cfg.tcp_copy_rate.tx_time(self.cfg.record_size as u64);
+            let work =
+                self.cfg.op_cpu + self.cfg.tcp_copy_rate.tx_time(self.cfg.record_size as u64);
             let (_, fin) = self.cpu.reserve_dur(ctx.now(), work);
             self.service_done.push_back(stream);
             ctx.timer_at(fin, TOKEN_NFS_SERVICE);
@@ -203,21 +211,19 @@ impl Ulp for NfsServer {
 
     fn on_completion(&mut self, hca: &mut HcaCore, ctx: &mut Ctx<'_>, c: Completion) {
         match &mut self.transport {
-            Transport::Rdma => {
-                match c {
-                    Completion::RecvDone { qpn, data, .. } => {
-                        hca.post_recv(qpn, RecvWr { wr_id: 0 });
-                        match RpcMsg::decode(&data.expect("RPC without header")) {
-                            RpcMsg::Call { xid, len, write } => {
-                                self.serve_rdma(hca, ctx, xid, len, write)
-                            }
-                            RpcMsg::Reply { .. } => panic!("server received a reply"),
+            Transport::Rdma => match c {
+                Completion::RecvDone { qpn, data, .. } => {
+                    hca.post_recv(qpn, RecvWr { wr_id: 0 });
+                    match RpcMsg::decode(&data.expect("RPC without header")) {
+                        RpcMsg::Call { xid, len, write } => {
+                            self.serve_rdma(hca, ctx, xid, len, write)
                         }
+                        RpcMsg::Reply { .. } => panic!("server received a reply"),
                     }
-                    Completion::SendDone { wr_id, .. } => self.on_pull_done(hca, ctx, wr_id),
-                    Completion::WriteArrived { .. } => {}
                 }
-            }
+                Completion::SendDone { wr_id, .. } => self.on_pull_done(hca, ctx, wr_id),
+                Completion::WriteArrived { .. } => {}
+            },
             Transport::Tcp(port) => {
                 let handled = port.on_completion(hca, ctx, &c);
                 debug_assert!(handled, "NFS/TCP server: foreign completion");

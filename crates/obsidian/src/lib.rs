@@ -138,24 +138,43 @@ impl Actor for Longbow {
         let out_idx = 1 - in_idx;
         // Deep internal buffers: the ingress credit returns immediately.
         if self.ports[in_idx].as_ref().is_some_and(|p| p.credited()) {
+            debug_assert_eq!(pkt.count, 1, "trains never cross credited links");
             let latency = self.ports[in_idx].as_ref().unwrap().config().latency;
             ctx.send(from, Box::new(CreditMsg), latency);
         }
-        if self.cfg.loss_per_million > 0
-            && ctx.rng().gen_range(0..1_000_000u32) < self.cfg.loss_per_million
-        {
-            self.dropped += 1;
+        // The transit + injected delay shifts every train member uniformly,
+        // so a train crosses the unit with its gap intact.
+        let ready = ctx.now() + self.cfg.transit_latency + self.cfg.injected_delay;
+        if self.cfg.loss_per_million > 0 {
+            // Loss is rolled per fragment, so trains must de-coalesce here:
+            // each member gets its own dice roll at its own arrival instant.
+            // (Fabrics with lossy Longbows disable coalescing entirely —
+            // see `LongbowPair::insert_with` — so this loop normally sees
+            // only single packets.)
+            let gap = Dur::from_ns(pkt.gap_ns);
+            for k in 0..pkt.count {
+                let member = pkt.frag(k);
+                if ctx.rng().gen_range(0..1_000_000u32) < self.cfg.loss_per_million {
+                    self.dropped += 1;
+                    continue;
+                }
+                let port = self.ports[out_idx]
+                    .as_mut()
+                    .expect("Longbow egress port not attached");
+                self.forwarded += 1;
+                let peer = port.peer;
+                if let Some((arrival, m)) = port.transmit(ready + gap * k as u64, member) {
+                    ctx.send_at(peer, m, arrival);
+                }
+            }
             return;
         }
         let port = self.ports[out_idx]
             .as_mut()
             .expect("Longbow egress port not attached");
-        self.forwarded += 1;
-        let ready = ctx.now() + self.cfg.transit_latency + self.cfg.injected_delay;
-        if let Some((arrival, pkt)) = port.transmit(ready, pkt) {
-            let peer = port.peer;
-            ctx.send_at(peer, pkt, arrival);
-        }
+        self.forwarded += pkt.count as u64;
+        let peer = port.peer;
+        port.transmit_seq(ready, pkt, &mut |arrival, p| ctx.send_at(peer, p, arrival));
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Box<dyn Any>) {
@@ -265,6 +284,13 @@ impl LongbowPair {
         switch_b: ActorId,
         cfg: LongbowConfig,
     ) -> LongbowPair {
+        if cfg.loss_per_million > 0 {
+            // Random per-fragment loss draws from the engine RNG in arrival
+            // order; batching a train's rolls at its head would interleave
+            // differently with other traffic's rolls. Keep lossy fabrics on
+            // the per-fragment path so results match bit for bit.
+            builder.disable_coalescing();
+        }
         let a = builder.add_bridge(Box::new(Longbow::new(cfg)));
         let b = builder.add_bridge(Box::new(Longbow::new(cfg)));
         builder.link(switch_a, a, local_cable());
@@ -460,7 +486,7 @@ mod tests {
         let sw_b = builder.add_switch();
         builder.link(n1.actor, sw_a, LinkConfig::ddr_lan());
         builder.link(n2.actor, sw_b, LinkConfig::ddr_lan());
-        LongbowPair::insert_with(
+        let pair = LongbowPair::insert_with(
             &mut builder,
             sw_a,
             sw_b,
@@ -482,6 +508,23 @@ mod tests {
         assert_eq!(f.hca(n2).ulp::<BwPeer>().received(), 200);
         let retx = f.hca(n1).core().qp(qa).retransmit_rounds();
         assert!(retx > 0, "2% loss must trigger retransmissions");
+        // The loss-recovery counters must surface at every layer: the units
+        // record what they dropped, and the receiving QP records both the
+        // go-back-N casualties (gap_drops) and the duplicates the 50 us
+        // one-way delay makes inevitable (retransmissions racing in-flight
+        // ACKs).
+        let dropped = f.engine.actor::<Longbow>(pair.a).dropped()
+            + f.engine.actor::<Longbow>(pair.b).dropped();
+        assert!(dropped > 0, "2% loss over 800 fragments must drop some");
+        let rx_qp = f.hca(n2).core().qp(qb);
+        assert!(
+            rx_qp.gap_drops() > 0,
+            "lost fragments must strand later ones"
+        );
+        assert!(
+            rx_qp.dup_fragments() > 0,
+            "go-back-N under WAN delay must re-deliver some fragments"
+        );
     }
 
     #[test]

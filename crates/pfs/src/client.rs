@@ -101,8 +101,7 @@ impl Ulp for PfsClient {
             }
         }
         // One open round trip to learn the layout, as in Lustre.
-        let open = SendWr::send(0, MDS_RPC_BYTES, 0)
-            .with_meta(PfsMsg::Open { xid: 0 }.encode());
+        let open = SendWr::send(0, MDS_RPC_BYTES, 0).with_meta(PfsMsg::Open { xid: 0 }.encode());
         hca.post_send(ctx, self.mds_qpn, open);
     }
 

@@ -31,4 +31,4 @@ pub mod wire;
 pub use client::{PfsClient, PfsClientConfig};
 pub use experiment::{run_striped_read, PfsSetup, PfsThroughput};
 pub use server::{MdsServer, OssServer, OssServerConfig};
-pub use wire::{PfsMsg, MDS_RPC_BYTES, OSS_RPC_BYTES, PFS_REPLY_BYTES, PFS_RDMA_CHUNK};
+pub use wire::{PfsMsg, MDS_RPC_BYTES, OSS_RPC_BYTES, PFS_RDMA_CHUNK, PFS_REPLY_BYTES};

@@ -94,8 +94,14 @@ mod tests {
     fn round_trips() {
         for m in [
             PfsMsg::Open { xid: 1 },
-            PfsMsg::OpenReply { xid: 1, stripe_count: 8 },
-            PfsMsg::Read { xid: 2, len: 1 << 20 },
+            PfsMsg::OpenReply {
+                xid: 1,
+                stripe_count: 8,
+            },
+            PfsMsg::Read {
+                xid: 2,
+                len: 1 << 20,
+            },
             PfsMsg::ReadReply { xid: 2 },
         ] {
             assert_eq!(PfsMsg::decode(&m.encode()), m);

@@ -141,8 +141,8 @@ impl SdpSocket {
         if self.drained_since_credit >= self.cfg.credit_batch {
             let n = self.drained_since_credit;
             self.drained_since_credit = 0;
-            let wr = SendWr::send(0, SDP_CTRL_BYTES, 0)
-                .with_meta(SdpWire::CreditUpdate { n }.encode());
+            let wr =
+                SendWr::send(0, SDP_CTRL_BYTES, 0).with_meta(SdpWire::CreditUpdate { n }.encode());
             hca.post_send_after(ctx, self.qpn, wr, fin);
         }
         SdpEvent::Delivered(len as u64)
@@ -183,9 +183,9 @@ impl SdpSocket {
                     }
                 }
             }
-            Completion::SendDone { qpn, wr_id, kind, .. }
-                if *qpn == self.qpn && *kind == SendKind::RdmaRead =>
-            {
+            Completion::SendDone {
+                qpn, wr_id, kind, ..
+            } if *qpn == self.qpn && *kind == SendKind::RdmaRead => {
                 // Our pull of a SrcAvail finished: data delivered, tell peer.
                 let (id, len) = self
                     .read_of_wr

@@ -85,7 +85,10 @@ mod tests {
         for w in [
             SdpWire::Data { len: 8192 },
             SdpWire::CreditUpdate { n: 8 },
-            SdpWire::SrcAvail { id: 3, len: 1 << 20 },
+            SdpWire::SrcAvail {
+                id: 3,
+                len: 1 << 20,
+            },
             SdpWire::RdmaRdCompl { id: 3 },
         ] {
             assert_eq!(SdpWire::decode(&w.encode()), w);

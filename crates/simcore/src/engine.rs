@@ -221,6 +221,12 @@ pub struct EngineCounters {
     pub peak_queue_len: u64,
     /// Timers that were cancelled before firing and skipped on pop.
     pub timers_cancelled: u64,
+    /// Fragment-train hop deliveries dispatched: packet-lane events whose
+    /// packet carried `count > 1` fragments across a hop as one event.
+    pub trains_emitted: u64,
+    /// Fragment hop-deliveries that rode inside a train instead of costing
+    /// their own event (`count - 1` per dispatched train).
+    pub fragments_coalesced: u64,
 }
 
 impl EngineCounters {
@@ -233,6 +239,19 @@ impl EngineCounters {
             0.0
         } else {
             self.pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of fragment hop-deliveries that were coalesced into trains,
+    /// `fragments_coalesced / (events_processed + fragments_coalesced)` —
+    /// i.e. the share of per-fragment events the train path made
+    /// unnecessary. Zero when nothing coalesced.
+    pub fn coalescing_ratio(&self) -> f64 {
+        let total = self.events_processed + self.fragments_coalesced;
+        if total == 0 {
+            0.0
+        } else {
+            self.fragments_coalesced as f64 / total as f64
         }
     }
 }
@@ -488,13 +507,7 @@ impl Engine {
     }
 
     /// Schedule a message delivery from outside any actor (driver code).
-    pub fn schedule_message(
-        &mut self,
-        at: Time,
-        from: ActorId,
-        to: ActorId,
-        msg: impl Into<Msg>,
-    ) {
+    pub fn schedule_message(&mut self, at: Time, from: ActorId, to: ActorId, msg: impl Into<Msg>) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
         self.core.push_event(
             at,
@@ -553,6 +566,21 @@ impl Engine {
                 }
             }
             self.core.counters.events_processed += 1;
+            // Train accounting: a packet-lane delivery with `count > 1` and a
+            // real arrival spacing moved `count` fragments across this hop in
+            // one event. (`gap_ns == 0` marks a train's deferred tail
+            // self-delivery at the destination HCA — the fragments were
+            // already counted when the train arrived, so it is excluded.)
+            if let EventKind::Message {
+                msg: Msg::Packet(p),
+                ..
+            } = &kind
+            {
+                if p.count > 1 && p.gap_ns > 0 {
+                    self.core.counters.trains_emitted += 1;
+                    self.core.counters.fragments_coalesced += (p.count - 1) as u64;
+                }
+            }
 
             let actor_id = match &kind {
                 EventKind::Message { to, .. } => *to,
@@ -673,6 +701,9 @@ mod tests {
             msg_len: 256,
             offset: 0,
             imm: 0,
+            count: 1,
+            stride: 0,
+            gap_ns: 0,
             data: None,
         }
     }
@@ -733,7 +764,10 @@ mod tests {
         e.schedule_message(Time::ZERO, c, c, Box::new("first"));
         e.schedule_message(Time::ZERO, c, c, Box::new("second"));
         e.run();
-        assert_eq!(e.actor::<Chaser>(c).order, vec!["first", "second", "chased"]);
+        assert_eq!(
+            e.actor::<Chaser>(c).order,
+            vec!["first", "second", "chased"]
+        );
     }
 
     #[test]
@@ -789,7 +823,11 @@ mod tests {
         e.schedule_message(Time::ZERO, t, t, Box::new("arm"));
         e.schedule_message(Time::from_us(10), t, t, Box::new("cancel"));
         let end = e.run();
-        assert_eq!(e.actor::<T>(t).fired, vec![8], "cancelled timer must not fire");
+        assert_eq!(
+            e.actor::<T>(t).fired,
+            vec![8],
+            "cancelled timer must not fire"
+        );
         assert_eq!(e.counters().timers_cancelled, 1);
         // 2 messages + 1 surviving timer; the skipped pop is not processed.
         assert_eq!(e.events_processed(), 3);

@@ -109,6 +109,52 @@ impl SerialResource {
         (start, finish)
     }
 
+    /// Occupy the resource for a train of `n` equal jobs of `bytes` each whose
+    /// arrivals are spaced `gap` apart starting at `ready`, **iff** the train's
+    /// per-job service pattern has a closed form. Returns
+    /// `(head_finish, gap_out)` where `gap_out` is the departure spacing, or
+    /// `None` when the pattern is irregular and the caller must fall back to
+    /// `n` individual `reserve` calls at `ready + k * gap`.
+    ///
+    /// Exactness: the two closed forms below reproduce, job for job, what the
+    /// per-fragment `reserve` loop would compute.
+    ///
+    /// 1. `service >= gap` (arrivals at least as fast as service): job `k`
+    ///    starts at `start + k * service` where `start = max(ready,
+    ///    next_free)` — by induction, each job's predecessor finishes no
+    ///    earlier than the job arrives, so service is back-to-back and
+    ///    departures are spaced exactly `service`.
+    /// 2. `service < gap` and the resource is idle at `ready`: every job finds
+    ///    the resource idle (its predecessor finished `gap - service` before it
+    ///    arrives), so job `k` runs at `ready + k * gap` and departures keep
+    ///    the arrival spacing `gap`.
+    ///
+    /// Any other case (slow arrivals into a backlog) drains the backlog
+    /// mid-train and has no single departure spacing.
+    pub fn reserve_train(
+        &mut self,
+        ready: Time,
+        n: u32,
+        bytes: u64,
+        gap: Dur,
+    ) -> Option<(Time, Dur)> {
+        debug_assert!(n >= 1);
+        let service = self.rate.tx_time(bytes);
+        if service >= gap {
+            let start = ready.max(self.next_free);
+            let total = service * n as u64;
+            self.next_free = start + total;
+            self.busy += total;
+            Some((start + service, service))
+        } else if self.next_free <= ready {
+            self.next_free = ready + gap * (n as u64 - 1) + service;
+            self.busy += service * n as u64;
+            Some((ready + service, gap))
+        } else {
+            None
+        }
+    }
+
     /// Earliest time the resource is idle.
     pub fn next_free(&self) -> Time {
         self.next_free
@@ -165,6 +211,86 @@ mod tests {
         let (s3, _f3) = res.reserve(Time::from_ns(5000), 1000);
         assert_eq!(s3, Time::from_ns(5000));
         assert_eq!(res.busy_time(), Dur::from_ns(3000));
+    }
+
+    /// Per-fragment reference: reserve each member of the train individually
+    /// at its own arrival time; return the sequence of finish times.
+    fn per_fragment(
+        res: &mut SerialResource,
+        ready: Time,
+        n: u32,
+        bytes: u64,
+        gap: Dur,
+    ) -> Vec<Time> {
+        (0..n)
+            .map(|k| res.reserve(ready + gap * k as u64, bytes).1)
+            .collect()
+    }
+
+    #[test]
+    fn reserve_train_back_to_back_matches_per_fragment() {
+        // service (1000ns) >= gap (600ns): departures pack at service spacing.
+        let mut a = SerialResource::new(Rate::from_gbps(8));
+        let mut b = a;
+        let golden = per_fragment(&mut a, Time::from_ns(50), 5, 1000, Dur::from_ns(600));
+        let (head, gap_out) = b
+            .reserve_train(Time::from_ns(50), 5, 1000, Dur::from_ns(600))
+            .unwrap();
+        assert_eq!(head, golden[0]);
+        assert_eq!(gap_out, Dur::from_ns(1000));
+        for (k, g) in golden.iter().enumerate() {
+            assert_eq!(head + gap_out * k as u64, *g);
+        }
+        assert_eq!(a, b); // next_free and busy agree too
+    }
+
+    #[test]
+    fn reserve_train_behind_backlog_matches_per_fragment() {
+        // Resource busy until t=3000 when the train arrives at t=100.
+        let mut a = SerialResource::new(Rate::from_gbps(8));
+        a.reserve(Time::ZERO, 3000);
+        let mut b = a;
+        let golden = per_fragment(&mut a, Time::from_ns(100), 4, 1000, Dur::from_ns(1000));
+        let (head, gap_out) = b
+            .reserve_train(Time::from_ns(100), 4, 1000, Dur::from_ns(1000))
+            .unwrap();
+        assert_eq!(head, golden[0]);
+        for (k, g) in golden.iter().enumerate() {
+            assert_eq!(head + gap_out * k as u64, *g);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reserve_train_slow_arrivals_idle_matches_per_fragment() {
+        // service (500ns) < gap (1000ns) on an idle resource: departures keep
+        // the arrival spacing.
+        let mut a = SerialResource::new(Rate::from_gbps(16));
+        let mut b = a;
+        let golden = per_fragment(&mut a, Time::from_ns(200), 6, 1000, Dur::from_ns(1000));
+        let (head, gap_out) = b
+            .reserve_train(Time::from_ns(200), 6, 1000, Dur::from_ns(1000))
+            .unwrap();
+        assert_eq!(head, golden[0]);
+        assert_eq!(gap_out, Dur::from_ns(1000));
+        for (k, g) in golden.iter().enumerate() {
+            assert_eq!(head + gap_out * k as u64, *g);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reserve_train_slow_arrivals_into_backlog_declines() {
+        // service < gap but the resource is busy at `ready`: the backlog
+        // drains mid-train, so there is no closed form — caller must
+        // de-coalesce.
+        let mut res = SerialResource::new(Rate::from_gbps(16));
+        res.reserve(Time::ZERO, 4000); // busy until 2000ns
+        let untouched = res;
+        assert!(res
+            .reserve_train(Time::from_ns(100), 4, 1000, Dur::from_ns(1000))
+            .is_none());
+        assert_eq!(res, untouched); // declining must not mutate state
     }
 
     #[test]

@@ -97,7 +97,11 @@ impl Histogram {
     /// Record one sample.
     pub fn record(&mut self, d: Dur) {
         let ns = d.as_ns();
-        let idx = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
+        let idx = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum_ns += ns as u128;

@@ -113,7 +113,11 @@ impl Trace {
             }
         }
         if self.dropped > 0 {
-            let _ = writeln!(out, "... {} further events dropped (capacity)", self.dropped);
+            let _ = writeln!(
+                out,
+                "... {} further events dropped (capacity)",
+                self.dropped
+            );
         }
         out
     }
@@ -128,14 +132,8 @@ mod tests {
     fn records_and_caps() {
         let mut t = Trace::new(2);
         t.record(Time::ZERO, TraceEvent::Timer { actor: 0, token: 1 });
-        t.record(
-            Time::from_us(1),
-            TraceEvent::Message { from: 0, to: 1 },
-        );
-        t.record(
-            Time::from_us(2),
-            TraceEvent::Message { from: 1, to: 0 },
-        );
+        t.record(Time::from_us(1), TraceEvent::Message { from: 0, to: 1 });
+        t.record(Time::from_us(2), TraceEvent::Message { from: 1, to: 0 });
         assert_eq!(t.records().len(), 2);
         assert_eq!(t.dropped(), 1);
         assert_eq!(t.involving(1).len(), 1);

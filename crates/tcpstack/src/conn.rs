@@ -1,6 +1,5 @@
 //! The TCP connection state machine.
 
-
 /// TCP/IP header bytes per segment (IPv4 20 + TCP 20 + options 12).
 pub const TCP_IP_HEADER: u32 = 52;
 
@@ -330,7 +329,11 @@ mod tests {
             let Some(seg) = a.poll_tx() else { break };
             let before = a.effective_window();
             let acked = seg.seq + seg.len as u64;
-            a.on_segment(TcpSegment { seq: 0, len: 0, ack: acked });
+            a.on_segment(TcpSegment {
+                seq: 0,
+                len: 0,
+                ack: acked,
+            });
             let after = a.effective_window();
             if before < cfg.ssthresh {
                 growth_below = growth_below.max(after - before);
@@ -378,9 +381,17 @@ mod tests {
         let mut rx = TcpConn::new(cfg());
         let mss = cfg().mss as u64;
         // Two back-to-back data segments trigger one pure ACK.
-        rx.on_segment(TcpSegment { seq: 0, len: cfg().mss, ack: 0 });
+        rx.on_segment(TcpSegment {
+            seq: 0,
+            len: cfg().mss,
+            ack: 0,
+        });
         assert!(rx.poll_tx().is_none(), "no ACK after first segment");
-        rx.on_segment(TcpSegment { seq: mss, len: cfg().mss, ack: 0 });
+        rx.on_segment(TcpSegment {
+            seq: mss,
+            len: cfg().mss,
+            ack: 0,
+        });
         let ack = rx.poll_tx().expect("ACK after second segment");
         assert!(ack.is_pure_ack());
         assert_eq!(ack.ack, 2 * mss);
@@ -390,7 +401,11 @@ mod tests {
     fn ack_outstanding_tracks_unacked_arrivals() {
         let mut rx = TcpConn::new(cfg());
         assert!(!rx.ack_outstanding());
-        rx.on_segment(TcpSegment { seq: 0, len: 100, ack: 0 });
+        rx.on_segment(TcpSegment {
+            seq: 0,
+            len: 100,
+            ack: 0,
+        });
         assert!(rx.ack_outstanding());
         rx.force_ack();
         let ack = rx.poll_tx().unwrap();
@@ -407,7 +422,11 @@ mod tests {
 
     #[test]
     fn wire_bytes_include_headers() {
-        let s = TcpSegment { seq: 0, len: 1000, ack: 0 };
+        let s = TcpSegment {
+            seq: 0,
+            len: 1000,
+            ack: 0,
+        };
         assert_eq!(s.wire_bytes(), 1052);
     }
 }

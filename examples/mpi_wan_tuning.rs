@@ -36,15 +36,24 @@ fn main() {
         ("2000 km", Dur::from_ms(10)),
     ] {
         let cfg = probe_and_tune(d);
-        println!("{label:>12}: eager/rendezvous threshold -> {} KB", cfg.eager_threshold / 1024);
+        println!(
+            "{label:>12}: eager/rendezvous threshold -> {} KB",
+            cfg.eager_threshold / 1024
+        );
     }
 
     println!("\n== Hierarchical broadcast, 16+16 ranks, 128 KB ==\n");
-    println!("{:>10} {:>14} {:>14} {:>10}", "delay us", "flat (us)", "hier (us)", "speedup");
+    println!(
+        "{:>10} {:>14} {:>14} {:>10}",
+        "delay us", "flat (us)", "hier (us)", "speedup"
+    );
     for delay_us in [10u64, 100, 1000] {
         let spec = JobSpec::two_clusters(16, 16, Dur::from_us(delay_us));
         let flat = osu_bcast(spec, 131_072, 3, false);
         let hier = osu_bcast(spec, 131_072, 3, true);
-        println!("{delay_us:>10} {flat:>14.1} {hier:>14.1} {:>9.2}x", flat / hier);
+        println!(
+            "{delay_us:>10} {flat:>14.1} {hier:>14.1} {:>9.2}x",
+            flat / hier
+        );
     }
 }

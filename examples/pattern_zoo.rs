@@ -15,8 +15,14 @@ fn run(p: &Pattern, per_cluster: usize, delay: Dur) -> (f64, f64) {
     let mut job = MpiJob::build(spec, |rank, n| p.ops(rank, n));
     job.run();
     let n = 2 * per_cluster;
-    let t0 = (0..n).filter_map(|r| job.process(r).runner.mark(0)).min().unwrap();
-    let t1 = (0..n).filter_map(|r| job.process(r).runner.mark(1)).max().unwrap();
+    let t0 = (0..n)
+        .filter_map(|r| job.process(r).runner.mark(0))
+        .min()
+        .unwrap();
+    let t1 = (0..n)
+        .filter_map(|r| job.process(r).runner.mark(1))
+        .max()
+        .unwrap();
     let total: u64 = job.traffic_matrix().iter().flatten().sum();
     let wan = job.wan_bytes(per_cluster);
     (
@@ -30,7 +36,13 @@ fn main() {
     let patterns: Vec<(&str, Pattern)> = vec![
         (
             "halo2d 4x4, 64KB faces",
-            Pattern::Halo2d { rows: 4, cols: 4, face_bytes: 65536, iters: 10, compute_us: 2000 },
+            Pattern::Halo2d {
+                rows: 4,
+                cols: 4,
+                face_bytes: 65536,
+                iters: 10,
+                compute_us: 2000,
+            },
         ),
         (
             "master-worker, 256KB tasks",
@@ -43,11 +55,19 @@ fn main() {
         ),
         (
             "ring, 128KB blocks",
-            Pattern::Ring { block_bytes: 131_072, iters: 20 },
+            Pattern::Ring {
+                block_bytes: 131_072,
+                iters: 20,
+            },
         ),
         (
             "sparse random, degree 4",
-            Pattern::SparseRandom { degree: 4, msg_bytes: 16384, supersteps: 10, seed: 5 },
+            Pattern::SparseRandom {
+                degree: 4,
+                msg_bytes: 16384,
+                supersteps: 10,
+                seed: 5,
+            },
         ),
     ];
 

@@ -43,8 +43,14 @@ fn rc_bandwidth(delay: Dur, size: u32) -> f64 {
 fn main() {
     println!("InfiniBand WAN quickstart — two DDR clusters, Obsidian Longbow pair\n");
 
-    println!("{:>10} {:>12} {:>16} {:>16}", "distance", "latency", "RC 64KB bw", "RC 1MB bw");
-    println!("{:>10} {:>12} {:>16} {:>16}", "(km)", "(us)", "(MB/s)", "(MB/s)");
+    println!(
+        "{:>10} {:>12} {:>16} {:>16}",
+        "distance", "latency", "RC 64KB bw", "RC 1MB bw"
+    );
+    println!(
+        "{:>10} {:>12} {:>16} {:>16}",
+        "(km)", "(us)", "(MB/s)", "(MB/s)"
+    );
     for km in [0u64, 2, 20, 200, 2000] {
         let delay = wire_delay_for_km(km);
         let lat = latency_us(delay);

@@ -14,7 +14,12 @@ use ibwan_repro::simcore::Dur;
 fn table1_is_the_paper_mapping() {
     let fig = ibwan_core::verbs::table1();
     let s = &fig.series[0];
-    for (km, us) in [(1.0, 5.0), (20.0, 100.0), (200.0, 1000.0), (2000.0, 10000.0)] {
+    for (km, us) in [
+        (1.0, 5.0),
+        (20.0, 100.0),
+        (200.0, 1000.0),
+        (2000.0, 10000.0),
+    ] {
         assert_eq!(s.y_at(km), Some(us));
     }
 }
@@ -90,8 +95,14 @@ fn nfs_transport_crossover() {
     let rc_low = quick(Transport::IpoibRc, Dur::from_us(10));
     let rdma_high = quick(Transport::Rdma, Dur::from_ms(1));
     let rc_high = quick(Transport::IpoibRc, Dur::from_ms(1));
-    assert!(rdma_low > rc_low, "low delay: RDMA {rdma_low} vs RC {rc_low}");
-    assert!(rc_high > rdma_high, "high delay: RC {rc_high} vs RDMA {rdma_high}");
+    assert!(
+        rdma_low > rc_low,
+        "low delay: RDMA {rdma_low} vs RC {rc_low}"
+    );
+    assert!(
+        rc_high > rdma_high,
+        "high delay: RC {rc_high} vs RDMA {rdma_high}"
+    );
 }
 
 #[test]
@@ -102,7 +113,11 @@ fn simulations_are_deterministic() {
     };
     let a = run_once();
     let b = run_once();
-    assert_eq!(a.to_bits(), b.to_bits(), "same config must be bit-identical");
+    assert_eq!(
+        a.to_bits(),
+        b.to_bits(),
+        "same config must be bit-identical"
+    );
 }
 
 #[test]
@@ -131,17 +146,10 @@ fn planner_numbers_agree_with_measured_figures() {
 
     // Figure 5 measured: 64 KB RC messages halve at ~1 ms. The planner's
     // required message size for near-peak at 1 ms must exceed 64 KB.
-    let need = planner::rc_message_size_for(
-        Rate::from_mbytes_per_sec(900),
-        Dur::from_ms(1),
-        16,
-    );
+    let need = planner::rc_message_size_for(Rate::from_mbytes_per_sec(900), Dur::from_ms(1), 16);
     assert!(need > 65536, "planner demands {need} B at 1 ms");
     // And at 100 us, 64 KB should suffice — matching the measured plateau.
-    let need_100us = planner::rc_message_size_for(
-        Rate::from_mbytes_per_sec(900),
-        Dur::from_us(100),
-        16,
-    );
+    let need_100us =
+        planner::rc_message_size_for(Rate::from_mbytes_per_sec(900), Dur::from_us(100), 16);
     assert!(need_100us < 65536, "{need_100us}");
 }

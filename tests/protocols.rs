@@ -106,7 +106,11 @@ fn assert_intact(sizes: &[u32], got: &[(u32, u64, Option<Bytes>)], what: &str) {
         assert_eq!(*len, expected, "{what}: length of message {i}");
         assert_eq!(*imm, i as u64, "{what}: ordering of message {i}");
         let d = data.as_ref().expect("payload must arrive");
-        assert_eq!(d, &pattern(i, expected as usize), "{what}: bytes of message {i}");
+        assert_eq!(
+            d,
+            &pattern(i, expected as usize),
+            "{what}: bytes of message {i}"
+        );
     }
 }
 
@@ -182,9 +186,12 @@ fn tcp_over_ipoib_delivers_exact_byte_counts() {
 #[test]
 fn collectives_terminate_on_engine() {
     for log_n in 1u32..4 {
-        for &(root_pick, len, delay_us) in
-            &[(0usize, 16u32, 0u64), (3, 8192, 100), (5, 65536, 0), (7, 8192, 100)]
-        {
+        for &(root_pick, len, delay_us) in &[
+            (0usize, 16u32, 0u64),
+            (3, 8192, 100),
+            (5, 65536, 0),
+            (7, 8192, 100),
+        ] {
             let n = 1usize << log_n;
             let root = root_pick % n;
             let half = (n / 2).max(1);
@@ -299,7 +306,11 @@ fn random_tree_topologies_route_all_pairs() {
         f.hca_mut(nodes[dst]).ulp_mut::<IntegrityReceiver>().qpn = qb;
         f.run();
         let got = &f.hca(nodes[dst]).ulp::<IntegrityReceiver>().got;
-        assert_eq!(got.len(), 1, "seed {seed}: message must arrive across the tree");
+        assert_eq!(
+            got.len(),
+            1,
+            "seed {seed}: message must arrive across the tree"
+        );
         assert_eq!(got[0].0, size, "seed {seed}");
     }
 }
@@ -402,13 +413,26 @@ fn coalescing_preserves_messages() {
         let mut job = MpiJob::build(spec, |rank, _| {
             if rank == 0 {
                 vec![
-                    Op::SendWindow { to: 1, len, tag: 1, count },
+                    Op::SendWindow {
+                        to: 1,
+                        len,
+                        tag: 1,
+                        count,
+                    },
                     Op::Recv { from: 1, tag: 2 },
                 ]
             } else {
                 vec![
-                    Op::RecvWindow { from: 0, tag: 1, count },
-                    Op::Send { to: 0, len: 4, tag: 2 },
+                    Op::RecvWindow {
+                        from: 0,
+                        tag: 1,
+                        count,
+                    },
+                    Op::Send {
+                        to: 0,
+                        len: 4,
+                        tag: 2,
+                    },
                 ]
             }
         });
