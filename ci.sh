@@ -15,6 +15,15 @@ cargo build --workspace --release
 echo "==> tests"
 cargo test --workspace --quiet
 
+echo "==> SPSC channel smoke (single-threaded runner: producer/consumer get the scheduler)"
+cargo test --quiet -p simcore spsc -- --test-threads=1
+
+echo "==> determinism suite, serial engine (IBWAN_SERIAL=1 pins PartitionMode::Off)"
+IBWAN_SERIAL=1 cargo test --quiet -p bench --test determinism
+
+echo "==> determinism suite, partitioned engine (default mode; A/B tests force both paths)"
+cargo test --quiet -p bench --test determinism
+
 echo "==> perf smoke (Quick subset + counters, gated against the checked-in baseline)"
 cargo run --release -p bench --bin perf -- --quick --json /tmp/BENCH_smoke.json \
     --baseline BENCH_engine.json

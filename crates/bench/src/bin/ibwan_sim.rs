@@ -7,6 +7,9 @@
 //!                                                  # delay sweep (0..10 ms)
 //! ibwan-sim --example                              # print a sample scenario
 //! ibwan-sim --json scenario.json                   # emit results as JSON
+//! ibwan-sim --serial scenario.json                 # force the serial engine
+//!                                                  # (results are identical;
+//!                                                  # timing A/B only)
 //! ```
 
 use ibwan_core::scenario::{example_scenario, Scenario};
@@ -14,7 +17,7 @@ use ibwan_core::scenario::{example_scenario, Scenario};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: ibwan-sim [--json] SCENARIO.json ...");
+        eprintln!("usage: ibwan-sim [--json] [--sweep] [--serial] SCENARIO.json ...");
         eprintln!("       ibwan-sim --example   # print a sample scenario file");
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -24,6 +27,9 @@ fn main() {
     }
     let as_json = args.iter().any(|a| a == "--json");
     let sweep = args.iter().any(|a| a == "--sweep");
+    if args.iter().any(|a| a == "--serial") {
+        ibfabric::fabric::set_partition_mode(ibfabric::fabric::PartitionMode::Off);
+    }
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if files.is_empty() {
         eprintln!("no scenario files given (try --example)");

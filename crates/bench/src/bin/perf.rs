@@ -13,8 +13,18 @@
 //!                    timings are embedded, a full-fidelity speedup is
 //!                    computed, and the run exits nonzero if any subset
 //!                    entry regresses >10% (plus 50 ms absolute slack)
-//!   --repeat N       best-of-N timing per experiment (default 3 quick / 1 full)
+//!   --repeat N       median-of-N timing per experiment (default 3 quick / 1 full)
 //! ```
+//!
+//! Every experiment is timed twice: once on the serial engine
+//! (`PartitionMode::Off`) and once with WAN-boundary partitioning forced
+//! (`PartitionMode::Force`). The serial median is the `secs` field the
+//! baseline gate compares — it isolates single-thread engine regressions
+//! from scheduling noise — while `secs_parallel` and `parallel_speedup`
+//! track what the domain engine buys on this machine (nothing on a 1-core
+//! box, where two domain threads time-share one CPU). Per-experiment domain
+//! stats (`domains`, `sync_rounds`, `events_per_domain`) come from the
+//! process-wide partition tally.
 //!
 //! Each timing also records the fragment-coalescing tally for that
 //! experiment (trains emitted, fragments that rode inside a train, and the
@@ -22,8 +32,10 @@
 //! experiment across PRs.
 
 use bench::catalog;
+use ibfabric::fabric::{partition_mode, set_partition_mode, PartitionMode};
 use ibwan_core::Fidelity;
 use minijson::{obj, Value};
+use simcore::stats::median;
 
 /// The fixed subset: one verbs, one MPI, one NFS experiment — together they
 /// cover the RC data path, the rendezvous protocol stack, and the RPC/ULP
@@ -33,7 +45,18 @@ const SUBSET: [&str; 3] = ["fig5a", "fig8a", "fig13a"];
 struct Timing {
     id: &'static str,
     fidelity: Fidelity,
+    /// Serial-engine median — the number the baseline gate compares.
     secs: f64,
+    /// Median with partitioning forced at WAN boundaries.
+    secs_parallel: f64,
+    /// `secs / secs_parallel` (1.0 when the experiment never partitions).
+    parallel_speedup: f64,
+    /// Widest domain split the forced run produced (0 = no plan, ran serial).
+    domains: u64,
+    /// Window-synchronization rounds in one forced run.
+    sync_rounds: u64,
+    /// Events dispatched per domain index in one forced run.
+    events_per_domain: Vec<u64>,
     /// Coalescing tally for one run of this experiment (deterministic, so
     /// identical across repeats): trains emitted and fragments coalesced.
     trains_emitted: u64,
@@ -87,28 +110,74 @@ fn main() {
         &[Fidelity::Quick, Fidelity::Full]
     };
 
+    // Restore whatever partition mode the process started with (the first
+    // `partition_mode()` call resolves the IBWAN_SERIAL env override), no
+    // matter how we exit the timing loops.
+    struct RestoreMode(PartitionMode);
+    impl Drop for RestoreMode {
+        fn drop(&mut self) {
+            set_partition_mode(self.0);
+        }
+    }
+    let _restore = RestoreMode(partition_mode());
+
     let mut timings = Vec::new();
     for &fidelity in fidelities {
         let reps = repeat.unwrap_or(match fidelity {
             Fidelity::Quick => 3,
             Fidelity::Full => 1,
         });
+        // Serial columns first, for the whole subset: these are the
+        // baseline-gated numbers, and the forced-partition reps oversubscribe
+        // the machine (two domain threads per core on small boxes), so
+        // running them earlier would contaminate the serial samples that
+        // follow.
+        set_partition_mode(PartitionMode::Off);
+        let mut serial_cols = Vec::new();
         for e in &subset {
-            let mut best = f64::INFINITY;
+            let mut serial_samples = Vec::new();
             let mut tally = (0u64, 0u64, 0u64);
             for _ in 0..reps.max(1) {
                 ibfabric::fabric::reset_coalescing_tally();
                 let t0 = std::time::Instant::now();
                 let fig = (e.run)(fidelity);
-                let dt = t0.elapsed().as_secs_f64();
+                serial_samples.push(t0.elapsed().as_secs_f64());
                 assert!(
                     fig.series.iter().any(|s| !s.points.is_empty()),
                     "{} produced an empty figure",
                     e.id
                 );
-                best = best.min(dt);
                 tally = ibfabric::fabric::coalescing_tally();
             }
+            serial_cols.push((median(&mut serial_samples), tally));
+        }
+
+        for (e, (secs, tally)) in subset.iter().zip(serial_cols) {
+            // Parallel column: partition wherever a domain plan exists. An
+            // experiment with no WAN cut (or a lossy Longbow) still runs
+            // serially under Force; its tally then shows 0 domains.
+            set_partition_mode(PartitionMode::Force);
+            let mut parallel_samples = Vec::new();
+            let mut parts = ibfabric::fabric::partition_tally();
+            for _ in 0..reps.max(1) {
+                ibfabric::fabric::reset_partition_tally();
+                let t0 = std::time::Instant::now();
+                let fig = (e.run)(fidelity);
+                parallel_samples.push(t0.elapsed().as_secs_f64());
+                assert!(
+                    fig.series.iter().any(|s| !s.points.is_empty()),
+                    "{} produced an empty figure (parallel)",
+                    e.id
+                );
+                parts = ibfabric::fabric::partition_tally();
+            }
+            let secs_parallel = median(&mut parallel_samples);
+            let parallel_speedup = if secs_parallel > 0.0 {
+                secs / secs_parallel
+            } else {
+                1.0
+            };
+
             let (trains, frags, events) = tally;
             let ratio = if events + frags > 0 {
                 frags as f64 / (events + frags) as f64
@@ -116,15 +185,23 @@ fn main() {
                 0.0
             };
             eprintln!(
-                "{:8} {fidelity:?}: {best:.3}s (best of {reps}), \
-                 coalescing {:.1}% ({trains} trains, {frags} frags)",
+                "{:8} {fidelity:?}: serial {secs:.3}s, parallel {secs_parallel:.3}s \
+                 ({parallel_speedup:.2}x, median of {reps}), domains={} \
+                 sync_rounds={}, coalescing {:.1}% ({trains} trains, {frags} frags)",
                 e.id,
+                parts.max_domains,
+                parts.sync_rounds,
                 ratio * 100.0
             );
             timings.push(Timing {
                 id: e.id,
                 fidelity,
-                secs: best,
+                secs,
+                secs_parallel,
+                parallel_speedup,
+                domains: parts.max_domains,
+                sync_rounds: parts.sync_rounds,
+                events_per_domain: parts.events_per_domain,
                 trains_emitted: trains,
                 fragments_coalesced: frags,
                 coalescing_ratio: ratio,
@@ -132,6 +209,10 @@ fn main() {
         }
     }
 
+    // The counter probe runs serial: merged partitioned counters match
+    // except `peak_queue_len`, which is a max over per-domain queues and
+    // would drift from the baseline's whole-fabric peak.
+    set_partition_mode(PartitionMode::Off);
     let counters = engine_counters();
     eprintln!(
         "engine counters (8 MiB WAN RC stream): events_processed={} \
@@ -200,6 +281,19 @@ fn main() {
                     }),
                 ),
                 ("secs", Value::Num(t.secs)),
+                ("secs_parallel", Value::Num(t.secs_parallel)),
+                ("parallel_speedup", Value::Num(t.parallel_speedup)),
+                ("domains", Value::from(t.domains)),
+                ("sync_rounds", Value::from(t.sync_rounds)),
+                (
+                    "events_per_domain",
+                    Value::Arr(
+                        t.events_per_domain
+                            .iter()
+                            .map(|&e| Value::from(e))
+                            .collect(),
+                    ),
+                ),
                 ("trains_emitted", Value::from(t.trains_emitted)),
                 ("fragments_coalesced", Value::from(t.fragments_coalesced)),
                 ("coalescing_ratio", Value::Num(t.coalescing_ratio)),

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] [--json DIR] [--no-coalescing] [IDS...]
+//! repro [--full] [--json DIR] [--no-coalescing] [--serial] [IDS...]
 //!
 //!   IDS       experiment ids to run ("table1", "fig5a", ...; default: all)
 //!   --full    use the Full fidelity (the EXPERIMENTS.md numbers); default
@@ -9,6 +9,10 @@
 //!   --json DIR  additionally write each figure as DIR/<id>.json
 //!   --no-coalescing  force the per-fragment wire path (A/B harness for the
 //!             fragment-train fast path; outputs must be bit-identical)
+//!   --serial  force the single-threaded engine even where a WAN domain
+//!             plan exists (A/B harness for the partitioned engine; outputs
+//!             must be bit-identical). `IBWAN_SERIAL=1` does the same for
+//!             binaries without the flag.
 //! ```
 
 use bench::catalog;
@@ -27,8 +31,13 @@ fn main() {
                 json_dir = Some(args.next().expect("--json needs a directory"));
             }
             "--no-coalescing" => ibfabric::fabric::set_default_coalescing(false),
+            "--serial" => {
+                ibfabric::fabric::set_partition_mode(ibfabric::fabric::PartitionMode::Off)
+            }
             "--help" | "-h" => {
-                eprintln!("usage: repro [--full] [--json DIR] [--no-coalescing] [IDS...]");
+                eprintln!(
+                    "usage: repro [--full] [--json DIR] [--no-coalescing] [--serial] [IDS...]"
+                );
                 eprintln!("experiments:");
                 for e in catalog() {
                     eprintln!("  {:8} {}", e.id, e.description);

@@ -7,7 +7,7 @@
 //! pointer-keyed ordering, pool-dependent dispatch order) breaks these tests.
 
 use bench::catalog;
-use ibfabric::fabric::set_default_coalescing;
+use ibfabric::fabric::{partition_mode, set_default_coalescing, set_partition_mode, PartitionMode};
 use ibfabric::perftest::{rc_qp_pair, BwConfig, BwPeer};
 use ibfabric::qp::QpConfig;
 use ibwan_core::topology::wan_node_pair;
@@ -23,6 +23,25 @@ static COALESCING_FLAG: Mutex<()> = Mutex::new(());
 
 fn flag_lock() -> MutexGuard<'static, ()> {
     COALESCING_FLAG.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Set the process-wide partition mode, restoring the previous mode on drop
+/// — panic-safe, so a failing assertion cannot leak `Force` into the tests
+/// that run after it.
+struct ModeGuard(PartitionMode);
+
+impl ModeGuard {
+    fn set(mode: PartitionMode) -> Self {
+        let prev = partition_mode();
+        set_partition_mode(mode);
+        ModeGuard(prev)
+    }
+}
+
+impl Drop for ModeGuard {
+    fn drop(&mut self) {
+        set_partition_mode(self.0);
+    }
 }
 
 /// Run a catalog experiment twice at Quick fidelity and demand bit-identical
@@ -76,6 +95,38 @@ fn assert_coalescing_invisible(id: &str) {
     );
 }
 
+/// Run a catalog experiment on the serial engine and on the partitioned
+/// engine (Force) and demand bit-identical output: domain partitioning is a
+/// pure wall-clock optimization, so every table cell and JSON byte must
+/// survive the A/B flip — the same contract coalescing holds to.
+fn assert_partitioning_invisible(id: &str) {
+    let _flag = flag_lock();
+    set_default_coalescing(true);
+    let experiments = catalog();
+    let e = experiments
+        .iter()
+        .find(|e| e.id == id)
+        .unwrap_or_else(|| panic!("experiment {id} missing from catalog"));
+    let serial = {
+        let _mode = ModeGuard::set(PartitionMode::Off);
+        (e.run)(Fidelity::Quick)
+    };
+    let partitioned = {
+        let _mode = ModeGuard::set(PartitionMode::Force);
+        (e.run)(Fidelity::Quick)
+    };
+    assert_eq!(
+        serial.to_table(),
+        partitioned.to_table(),
+        "{id}: table changed on the partitioned engine"
+    );
+    assert_eq!(
+        serial.to_json(),
+        partitioned.to_json(),
+        "{id}: JSON changed on the partitioned engine"
+    );
+}
+
 #[test]
 fn rc_verbs_figure_is_bit_identical_across_runs() {
     assert_golden("fig5a");
@@ -99,6 +150,59 @@ fn mpi_figure_is_identical_with_and_without_coalescing() {
 #[test]
 fn nfs_figure_is_identical_with_and_without_coalescing() {
     assert_coalescing_invisible("fig13a");
+}
+
+#[test]
+fn rc_verbs_figure_is_identical_serial_and_partitioned() {
+    assert_partitioning_invisible("fig5a");
+}
+
+#[test]
+fn mpi_figure_is_identical_serial_and_partitioned() {
+    assert_partitioning_invisible("fig8a");
+}
+
+#[test]
+fn nfs_figure_is_identical_serial_and_partitioned() {
+    assert_partitioning_invisible("fig13a");
+}
+
+/// Determinism must come from the window protocol, not from lucky thread
+/// scheduling: stagger each domain thread's start by increasingly hostile
+/// offsets and demand the bit-identical figure every time.
+#[test]
+fn partitioned_schedule_survives_thread_start_jitter() {
+    use simcore::domain::set_test_start_jitter_us;
+
+    /// Clear the jitter knob on drop so a failure here can't slow every
+    /// later partitioned run in this binary.
+    struct JitterGuard;
+    impl Drop for JitterGuard {
+        fn drop(&mut self) {
+            set_test_start_jitter_us(0);
+        }
+    }
+
+    let _flag = flag_lock();
+    set_default_coalescing(true);
+    let _mode = ModeGuard::set(PartitionMode::Force);
+    let _jitter = JitterGuard;
+    let experiments = catalog();
+    let e = experiments
+        .iter()
+        .find(|e| e.id == "fig5a")
+        .expect("fig5a missing from catalog");
+    set_test_start_jitter_us(0);
+    let baseline = (e.run)(Fidelity::Quick);
+    for us in [50, 500, 1500, 4000] {
+        set_test_start_jitter_us(us);
+        let jittered = (e.run)(Fidelity::Quick);
+        assert_eq!(
+            baseline.to_json(),
+            jittered.to_json(),
+            "fig5a drifted under {us}us thread-start jitter"
+        );
+    }
 }
 
 /// Whole-fabric report equality, including the engine's event counters: two

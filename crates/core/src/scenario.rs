@@ -448,7 +448,36 @@ impl Scenario {
         .to_pretty()
     }
 
+    /// Run the scenario on the serial engine regardless of the process-wide
+    /// partition mode, restoring the previous mode afterwards (panic-safe).
+    ///
+    /// The partitioned engine is bit-identical to serial by construction
+    /// (golden A/B tests in `bench`), so this exists for apples-to-apples
+    /// timing comparisons (`repro --serial`, `perf`'s serial column) and as
+    /// an escape hatch should a future topology expose a protocol bug.
+    pub fn run_serial(&self) -> ScenarioResult {
+        use ibfabric::fabric::{partition_mode, set_partition_mode, PartitionMode};
+        struct Restore(PartitionMode);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                set_partition_mode(self.0);
+            }
+        }
+        let _restore = Restore(partition_mode());
+        set_partition_mode(PartitionMode::Off);
+        self.run()
+    }
+
     /// Run the scenario and return its headline number.
+    ///
+    /// Engine choice is implicit: each `Fabric::run` consults the domain
+    /// plan its builder computed and the process-wide [`PartitionMode`]
+    /// (see `ibfabric::fabric`), so WAN scenarios may execute on the
+    /// partitioned engine while LAN scenarios stay serial. Results are
+    /// identical either way; use [`Scenario::run_serial`] to force the
+    /// serial engine for timing comparisons.
+    ///
+    /// [`PartitionMode`]: ibfabric::fabric::PartitionMode
     pub fn run(&self) -> ScenarioResult {
         let delay = Dur::from_us(self.topology.delay_us);
         let loss = self.topology.loss_ppm;

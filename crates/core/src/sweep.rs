@@ -1,18 +1,29 @@
-//! Parallel parameter sweeps: each simulation is single-threaded and
-//! deterministic, so independent configurations fan out across a bounded
-//! worker pool.
+//! Parallel parameter sweeps: simulations are deterministic and independent
+//! per configuration, so sweeps fan out across a bounded worker pool.
+//!
+//! A single configuration may itself run on the partitioned domain engine
+//! (two threads for the paper's two-cluster topologies), so the pool divides
+//! the machine between *sweep* parallelism and *engine* parallelism instead
+//! of multiplying them: workers × threads-per-job ≤ available cores.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Map `f` over `inputs` in parallel, preserving order.
 ///
-/// Runs on a bounded pool of `min(available_parallelism, inputs.len())`
-/// scoped worker threads that self-schedule inputs from a shared index —
-/// large sweeps no longer spawn one OS thread per configuration. Results
-/// come back in input order. If any worker panics, the first panic payload
-/// is re-raised in the caller once the scope joins, so the original
-/// assertion message (not a generic wrapper) reaches the user.
+/// Runs on a bounded pool of scoped worker threads that self-schedule
+/// inputs from a shared index — large sweeps no longer spawn one OS thread
+/// per configuration. The pool size is `available_parallelism` divided by
+/// the threads one job may use: when the partitioned engine is eligible
+/// (see [`ibfabric::fabric::partition_mode`]), each job is budgeted the
+/// paper's two cluster domains, halving the worker count rather than
+/// oversubscribing every core with domain threads. The workers register
+/// themselves via [`simcore::domain::register_external_workers`] so nested
+/// `Fabric::run` auto-partition decisions see how much of the machine the
+/// sweep already claims. Results come back in input order. If any worker
+/// panics, the first panic payload is re-raised in the caller once the
+/// scope joins, so the original assertion message (not a generic wrapper)
+/// reaches the user.
 pub fn parallel_map<I, T, F>(inputs: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
@@ -23,10 +34,19 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
+    let avail = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+        .unwrap_or(1);
+    // Threads each job may consume: 2 domain threads for the paper's
+    // two-cluster WAN splits unless partitioning is off process-wide. (Jobs
+    // whose fabric has no domain plan still run serially; this only budgets
+    // the worst case.)
+    let per_job = match ibfabric::fabric::partition_mode() {
+        ibfabric::fabric::PartitionMode::Off => 1,
+        _ => 2,
+    };
+    let workers = worker_budget(avail, per_job, n);
+    let _external = simcore::domain::register_external_workers(workers);
 
     // Each input slot is claimed exactly once via the shared counter; the
     // Mutex<Option<I>> wrappers hand inputs to whichever worker claims them.
@@ -67,9 +87,36 @@ where
         .collect()
 }
 
+/// Sweep workers for a machine with `avail` cores when each job may use
+/// `per_job` threads and there are `n` inputs: total threads stay within
+/// `avail` (never oversubscribing with nested domain engines), with a floor
+/// of one worker so narrow machines still make progress.
+fn worker_budget(avail: usize, per_job: usize, n: usize) -> usize {
+    (avail / per_job).max(1).min(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn budget_divides_cores_between_sweep_and_engine() {
+        assert_eq!(worker_budget(8, 2, 100), 4, "8 cores / 2-thread jobs");
+        assert_eq!(worker_budget(8, 1, 100), 8, "serial jobs use every core");
+        assert_eq!(worker_budget(1, 2, 100), 1, "floor of one worker");
+        assert_eq!(worker_budget(16, 2, 3), 3, "never more workers than jobs");
+    }
+
+    #[test]
+    fn workers_register_as_external_while_sweeping() {
+        // Release-on-drop is covered in simcore (guard tests); sibling tests
+        // may sweep concurrently, so only the in-flight claim is asserted.
+        let seen = parallel_map(vec![(), (), ()], |_| simcore::domain::external_workers());
+        assert!(
+            seen.iter().all(|&w| w >= 1),
+            "jobs must see the sweep's claim: {seen:?}"
+        );
+    }
 
     #[test]
     fn preserves_order() {

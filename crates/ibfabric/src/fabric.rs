@@ -12,9 +12,10 @@ use crate::link::{EgressPort, LinkConfig};
 use crate::switch::Switch;
 use crate::types::Lid;
 use crate::ulp::Ulp;
-use simcore::{Actor, ActorId, Engine, Time};
+use simcore::domain::{self, DomainReport, DomainSpec};
+use simcore::{Actor, ActorId, Dur, Engine, Time};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
 /// Process-wide default for fragment-train coalescing, consulted by every
 /// new [`FabricBuilder`]. Lets a harness (e.g. `repro --no-coalescing`) A/B
@@ -59,10 +60,143 @@ pub fn coalescing_tally() -> (u64, u64, u64) {
     )
 }
 
+/// How `Fabric::run` chooses between the serial and the partitioned engine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PartitionMode {
+    /// Partition when the topology splits at WAN boundaries, the lookahead
+    /// window is wide enough to amortize synchronization, and spare cores
+    /// exist (after subtracting sweep workers). The default.
+    Auto = 0,
+    /// Always run serially (`repro --serial`, `IBWAN_SERIAL=1`).
+    Off = 1,
+    /// Partition whenever a domain plan exists, regardless of core count or
+    /// window width — used by A/B determinism tests and the perf harness's
+    /// parallel column.
+    Force = 2,
+}
+
+/// 255 = uninitialized sentinel: first read consults `IBWAN_SERIAL`.
+static PARTITION_MODE: AtomicU8 = AtomicU8::new(255);
+
+/// Set the process-wide engine choice for subsequent `Fabric::run` calls.
+pub fn set_partition_mode(mode: PartitionMode) {
+    PARTITION_MODE.store(mode as u8, Ordering::SeqCst);
+}
+
+/// The current process-wide engine choice. On first read, `IBWAN_SERIAL=1`
+/// in the environment selects [`PartitionMode::Off`] (the env-var twin of
+/// `repro --serial`, for harnesses that can't pass flags through).
+pub fn partition_mode() -> PartitionMode {
+    match PARTITION_MODE.load(Ordering::SeqCst) {
+        255 => {
+            let mode = if std::env::var_os("IBWAN_SERIAL").is_some_and(|v| v == "1") {
+                PartitionMode::Off
+            } else {
+                PartitionMode::Auto
+            };
+            PARTITION_MODE.store(mode as u8, Ordering::SeqCst);
+            mode
+        }
+        1 => PartitionMode::Off,
+        2 => PartitionMode::Force,
+        _ => PartitionMode::Auto,
+    }
+}
+
+/// Auto mode only partitions when the window is at least this wide: below
+/// ~100 µs of lookahead the per-round barrier cost eats the win on typical
+/// intra-cluster event densities (the paper's interesting WAN regime is
+/// 1–10 ms anyway).
+pub const AUTO_MIN_LOOKAHEAD: Dur = Dur::from_us(100);
+
+// Process-wide tally of partitioned-engine work across `Fabric::run` calls,
+// mirroring the coalescing tally: experiment constructors bury their fabrics,
+// so the perf harness reads per-experiment partition stats from here.
+const DOMAIN_TALLY_SLOTS: usize = 8;
+static PARTITIONED_RUNS_TALLY: AtomicU64 = AtomicU64::new(0);
+static SERIAL_RUNS_TALLY: AtomicU64 = AtomicU64::new(0);
+static SYNC_ROUNDS_TALLY: AtomicU64 = AtomicU64::new(0);
+static DOMAINS_MAX_TALLY: AtomicU64 = AtomicU64::new(0);
+static DOMAIN_EVENTS_TALLY: [AtomicU64; DOMAIN_TALLY_SLOTS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Partition work accumulated since the last [`reset_partition_tally`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionTally {
+    /// `Fabric::run` calls that executed partitioned.
+    pub partitioned_runs: u64,
+    /// `Fabric::run` calls that executed serially.
+    pub serial_runs: u64,
+    /// Total synchronization rounds across all partitioned runs.
+    pub sync_rounds: u64,
+    /// Widest split seen (0 when everything ran serially).
+    pub max_domains: u64,
+    /// Events dispatched per domain index (capped at 8 slots; wider splits
+    /// fold into the last slot).
+    pub events_per_domain: Vec<u64>,
+}
+
+/// Reset the process-wide partition tally (call before an experiment).
+pub fn reset_partition_tally() {
+    PARTITIONED_RUNS_TALLY.store(0, Ordering::SeqCst);
+    SERIAL_RUNS_TALLY.store(0, Ordering::SeqCst);
+    SYNC_ROUNDS_TALLY.store(0, Ordering::SeqCst);
+    DOMAINS_MAX_TALLY.store(0, Ordering::SeqCst);
+    for slot in &DOMAIN_EVENTS_TALLY {
+        slot.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Partition stats accumulated by every [`Fabric::run`] since the last
+/// [`reset_partition_tally`]. `events_per_domain` is trimmed to the widest
+/// split observed.
+pub fn partition_tally() -> PartitionTally {
+    let max_domains = DOMAINS_MAX_TALLY.load(Ordering::SeqCst);
+    let slots = (max_domains as usize).min(DOMAIN_TALLY_SLOTS);
+    PartitionTally {
+        partitioned_runs: PARTITIONED_RUNS_TALLY.load(Ordering::SeqCst),
+        serial_runs: SERIAL_RUNS_TALLY.load(Ordering::SeqCst),
+        sync_rounds: SYNC_ROUNDS_TALLY.load(Ordering::SeqCst),
+        max_domains,
+        events_per_domain: DOMAIN_EVENTS_TALLY[..slots]
+            .iter()
+            .map(|slot| slot.load(Ordering::SeqCst))
+            .collect(),
+    }
+}
+
+fn record_partition_tally(report: &DomainReport) {
+    PARTITIONED_RUNS_TALLY.fetch_add(1, Ordering::SeqCst);
+    SYNC_ROUNDS_TALLY.fetch_add(report.sync_rounds, Ordering::SeqCst);
+    DOMAINS_MAX_TALLY.fetch_max(report.domains as u64, Ordering::SeqCst);
+    for (d, &events) in report.events_per_domain.iter().enumerate() {
+        DOMAIN_EVENTS_TALLY[d.min(DOMAIN_TALLY_SLOTS - 1)].fetch_add(events, Ordering::SeqCst);
+    }
+}
+
 /// Anything the builder can wire a cable into.
 pub trait PortAttach: Actor {
     /// Attach `egress` as this entity's port `idx`.
     fn attach_port(&mut self, idx: usize, egress: EgressPort);
+
+    /// Minimum extra virtual-time delay this entity adds between receiving a
+    /// packet and emitting it onward — its contribution to cross-domain
+    /// lookahead when it sits on a partition boundary. `None` (the default)
+    /// means "unknown": a boundary through this entity cannot be partitioned.
+    /// WAN extenders (the Obsidian Longbow) override this with their transit
+    /// latency plus injected WAN delay.
+    fn forward_lookahead(&self) -> Option<Dur> {
+        None
+    }
 }
 
 impl PortAttach for HcaActor {
@@ -97,18 +231,21 @@ enum Kind {
 }
 
 type AttachFn = Box<dyn Fn(&mut Engine, ActorId, usize, EgressPort)>;
+type LookaheadFn = Box<dyn Fn(&Engine, ActorId) -> Option<Dur>>;
 
 /// Builds a fabric on top of a fresh [`Engine`].
 pub struct FabricBuilder {
     engine: Engine,
     kinds: Vec<Kind>,
     attachers: Vec<Option<AttachFn>>,
+    lookaheads: Vec<Option<LookaheadFn>>,
     /// adjacency: for each actor, (peer actor, local port idx, link cfg)
     adj: Vec<Vec<(ActorId, usize, LinkConfig)>>,
     ports_used: Vec<usize>,
     next_lid: u16,
     nodes: Vec<NodeHandle>,
     coalescing: bool,
+    partitioning: bool,
 }
 
 impl FabricBuilder {
@@ -118,11 +255,13 @@ impl FabricBuilder {
             engine: Engine::new(seed),
             kinds: Vec::new(),
             attachers: Vec::new(),
+            lookaheads: Vec::new(),
             adj: Vec::new(),
             ports_used: Vec::new(),
             next_lid: 1,
             nodes: Vec::new(),
             coalescing: default_coalescing(),
+            partitioning: true,
         }
     }
 
@@ -139,6 +278,15 @@ impl FabricBuilder {
         self.coalescing = false;
     }
 
+    /// Force serial execution for this fabric — used by components whose
+    /// behaviour depends on engine-global state the partitioned engine cannot
+    /// replicate bit-identically (e.g. random loss drawing from the shared
+    /// RNG: per-domain engines hold per-domain generators, so draw order
+    /// would diverge from the serial run).
+    pub fn disable_partitioning(&mut self) {
+        self.partitioning = false;
+    }
+
     fn register<T: PortAttach>(&mut self, actor: Box<T>, kind: Kind) -> ActorId {
         let id = self.engine.add_actor(actor);
         debug_assert_eq!(id, self.kinds.len());
@@ -148,6 +296,10 @@ impl FabricBuilder {
                 eng.actor_mut::<T>(id).attach_port(idx, eg);
             },
         )));
+        self.lookaheads
+            .push(Some(Box::new(|eng: &Engine, id: ActorId| -> Option<Dur> {
+                eng.actor::<T>(id).forward_lookahead()
+            })));
         self.adj.push(Vec::new());
         self.ports_used.push(0);
         id
@@ -174,11 +326,14 @@ impl FabricBuilder {
         self.register(bridge, Kind::Bridge)
     }
 
-    /// Add a non-fabric actor (driver, coordinator). It gets no ports.
+    /// Add a non-fabric actor (driver, coordinator). It gets no ports. Such
+    /// actors have no cables to infer a domain from, so their presence
+    /// disables partitioning for the fabric.
     pub fn add_actor(&mut self, actor: Box<dyn Actor>) -> ActorId {
         let id = self.engine.add_actor(actor);
         self.kinds.push(Kind::Other);
         self.attachers.push(None);
+        self.lookaheads.push(None);
         self.adj.push(Vec::new());
         self.ports_used.push(0);
         id
@@ -283,11 +438,96 @@ impl FabricBuilder {
             .filter(|(_, k)| matches!(k, Kind::Switch))
             .map(|(id, _)| id)
             .collect();
+        let plan = self.compute_plan();
         Fabric {
             engine: self.engine,
             nodes: self.nodes,
             switches,
+            plan,
+            last_domain_report: None,
         }
+    }
+
+    /// Derive the domain plan: cut the topology at every bridge–bridge cable
+    /// (the Longbow–Longbow WAN links), make each remaining connected
+    /// component a domain, and bound the cross-domain lookahead per cut-edge
+    /// direction. Returns `None` whenever the split would be unsound or
+    /// useless, in which case the fabric always runs serially:
+    ///
+    /// * partitioning disabled (random loss needs the shared RNG order),
+    /// * non-fabric actors present (no cables → no domain assignment),
+    /// * fewer than two components after the cut,
+    /// * a boundary bridge with unknown forward delay, or
+    /// * a component no cut edge leads into (it could never be woken).
+    fn compute_plan(&self) -> Option<DomainSpec> {
+        if !self.partitioning {
+            return None;
+        }
+        if self.kinds.iter().any(|k| matches!(k, Kind::Other)) {
+            return None;
+        }
+        let n = self.adj.len();
+        let is_cut = |a: ActorId, b: ActorId| {
+            matches!(self.kinds[a], Kind::Bridge) && matches!(self.kinds[b], Kind::Bridge)
+        };
+
+        // Connected components of the cable graph minus cut edges.
+        let mut domain_of = vec![u32::MAX; n];
+        let mut domains = 0u32;
+        for start in 0..n {
+            if domain_of[start] != u32::MAX {
+                continue;
+            }
+            domain_of[start] = domains;
+            let mut queue = VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for &(v, _, _) in &self.adj[u] {
+                    if domain_of[v] == u32::MAX && !is_cut(u, v) {
+                        domain_of[v] = domains;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            domains += 1;
+        }
+        if domains < 2 {
+            return None;
+        }
+
+        // Lookahead per ordered domain pair: for a message crossing the cut
+        // cable a→b, the minimum delay after the sending bridge's event is
+        // the cable's propagation latency, plus — on uncredited cables —
+        // the bridge's own forward delay (transit + injected WAN delay; the
+        // bridge buffers before emitting). Credited cables return
+        // `CreditMsg`s at bare cable latency, so the forward delay cannot be
+        // counted for them.
+        let mut lookahead_ns = vec![vec![u64::MAX; domains as usize]; domains as usize];
+        for a in 0..n {
+            for &(b, _, cfg) in &self.adj[a] {
+                if !is_cut(a, b) {
+                    continue;
+                }
+                let (da, db) = (domain_of[a] as usize, domain_of[b] as usize);
+                if da == db {
+                    // A redundant bridge cable inside one domain: harmless.
+                    continue;
+                }
+                let mut l = cfg.latency;
+                if cfg.credit_packets.is_none() {
+                    let fwd = self.lookaheads[a].as_ref()?(&self.engine, a)?;
+                    l += fwd;
+                }
+                let slot = &mut lookahead_ns[da][db];
+                *slot = (*slot).min(l.as_ns());
+            }
+        }
+
+        let spec = DomainSpec {
+            domains: domains as usize,
+            domain_of,
+            lookahead_ns,
+        };
+        spec.is_runnable().then_some(spec)
     }
 }
 
@@ -297,6 +537,11 @@ pub struct Fabric {
     pub engine: Engine,
     nodes: Vec<NodeHandle>,
     switches: Vec<ActorId>,
+    /// Domain split derived at build time; `None` → always serial.
+    plan: Option<DomainSpec>,
+    /// Stats from the most recent partitioned [`Fabric::run`] (cleared by a
+    /// serial run).
+    last_domain_report: Option<DomainReport>,
 }
 
 impl Fabric {
@@ -315,10 +560,61 @@ impl Fabric {
         self.engine.actor_mut::<HcaActor>(node.actor)
     }
 
+    /// The domain split this fabric would run partitioned with, if any.
+    pub fn domain_plan(&self) -> Option<&DomainSpec> {
+        self.plan.as_ref()
+    }
+
+    /// Stats from the most recent [`Fabric::run`], if it ran partitioned.
+    pub fn domain_report(&self) -> Option<&DomainReport> {
+        self.last_domain_report.as_ref()
+    }
+
+    /// Whether `run` would take the partitioned path right now, given the
+    /// plan, the process-wide [`partition_mode`], and (in auto mode) the
+    /// lookahead width and spare-core budget.
+    fn should_partition(&self) -> bool {
+        let Some(plan) = self.plan.as_ref() else {
+            return false;
+        };
+        match partition_mode() {
+            PartitionMode::Off => false,
+            PartitionMode::Force => self.engine.trace().is_none(),
+            PartitionMode::Auto => {
+                if self.engine.trace().is_some() {
+                    return false; // one bounded trace can't span two threads
+                }
+                if plan.min_lookahead() < Some(AUTO_MIN_LOOKAHEAD) {
+                    return false; // window too narrow to amortize barriers
+                }
+                let avail = std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1);
+                avail.saturating_sub(domain::external_workers()) >= plan.domains
+            }
+        }
+    }
+
     /// Run the simulation to quiescence; returns final virtual time.
+    ///
+    /// Chooses between the serial event loop and the partitioned engine
+    /// ([`simcore::domain::run_partitioned`]) per [`Fabric::should_partition`];
+    /// the two are bit-identical in every virtual-time observable, so the
+    /// choice is invisible to experiments (enforced by the A/B determinism
+    /// suite in `bench/tests/determinism.rs`).
     pub fn run(&mut self) -> Time {
         let before = self.engine.counters();
-        let t = self.engine.run();
+        let t = if self.should_partition() {
+            let plan = self.plan.as_ref().expect("should_partition checked plan");
+            let report = domain::run_partitioned(&mut self.engine, plan);
+            record_partition_tally(&report);
+            self.last_domain_report = Some(report);
+            self.engine.now()
+        } else {
+            SERIAL_RUNS_TALLY.fetch_add(1, Ordering::SeqCst);
+            self.last_domain_report = None;
+            self.engine.run()
+        };
         let after = self.engine.counters();
         TRAINS_TALLY.fetch_add(
             after.trains_emitted - before.trains_emitted,
@@ -355,6 +651,10 @@ impl Fabric {
         r.nodes = self.nodes.len();
         r.switches = self.switches.len();
         r.engine_counters = self.engine.counters();
+        if let Some(d) = &self.last_domain_report {
+            r.domains = d.domains;
+            r.sync_rounds = d.sync_rounds;
+        }
         r
     }
 }
@@ -372,6 +672,11 @@ pub struct FabricReport {
     pub hca_packets_received: u64,
     /// Forwarding operations across all switches.
     pub switch_packets_forwarded: u64,
+    /// Domains the most recent run was split into (0 = ran serially).
+    pub domains: usize,
+    /// Synchronization rounds the most recent partitioned run executed
+    /// (0 = ran serially).
+    pub sync_rounds: u64,
     /// Event-engine hot-path counters (allocations, pool hits, queue depth).
     pub engine_counters: simcore::EngineCounters,
 }
@@ -499,6 +804,32 @@ mod tests {
         assert_eq!(r.hca_packets_sent, 3);
         assert_eq!(r.hca_packets_received, 3);
         assert_eq!(r.switch_packets_forwarded, 3);
+    }
+
+    #[test]
+    fn lan_fabrics_have_no_domain_plan() {
+        // No bridges → nothing to cut → always serial.
+        let (f, _n1, _n2) = two_nodes_via_switch(1024);
+        assert!(f.domain_plan().is_none());
+    }
+
+    #[test]
+    fn non_fabric_actors_disable_partitioning() {
+        struct Idle;
+        impl simcore::Actor for Idle {
+            fn on_message(
+                &mut self,
+                _ctx: &mut simcore::Ctx<'_>,
+                _from: ActorId,
+                _msg: Box<dyn std::any::Any>,
+            ) {
+            }
+        }
+        let mut b = FabricBuilder::new(3);
+        let _ = b.add_hca(HcaConfig::default(), Box::new(NullUlp));
+        b.add_actor(Box::new(Idle));
+        let f = b.finish();
+        assert!(f.domain_plan().is_none());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::any::Any;
 /// The ULP is invoked by the [`crate::hca::HcaActor`] with mutable access to
 /// the HCA core so it can post work requests in response to completions —
 /// mirroring how real ULPs drive verbs from completion handlers.
-pub trait Ulp: Any {
+pub trait Ulp: Any + Send {
     /// Called once at simulation start (time zero).
     fn start(&mut self, _hca: &mut HcaCore, _ctx: &mut Ctx<'_>) {}
 

@@ -113,6 +113,16 @@ impl PortAttach for Longbow {
         assert!(self.ports[idx].is_none(), "port {idx} already attached");
         self.ports[idx] = Some(egress);
     }
+
+    /// A packet entering either port leaves no earlier than the transit
+    /// latency plus the injected WAN delay after the ingress event — this is
+    /// the store-and-forward floor the partitioned engine uses as lookahead
+    /// when the WAN cable forms a domain boundary. (Credit returns bypass
+    /// the store-and-forward path; the fabric builder accounts for those
+    /// separately by dropping this term on credited cables.)
+    fn forward_lookahead(&self) -> Option<Dur> {
+        Some(self.cfg.transit_latency + self.cfg.injected_delay)
+    }
 }
 
 impl Longbow {
@@ -290,6 +300,10 @@ impl LongbowPair {
             // differently with other traffic's rolls. Keep lossy fabrics on
             // the per-fragment path so results match bit for bit.
             builder.disable_coalescing();
+            // Same reasoning one level up: the partitioned engine gives each
+            // domain its own RNG, which would reorder loss draws relative to
+            // the serial run. Lossy fabrics always run serially.
+            builder.disable_partitioning();
         }
         let a = builder.add_bridge(Box::new(Longbow::new(cfg)));
         let b = builder.add_bridge(Box::new(Longbow::new(cfg)));
@@ -524,6 +538,103 @@ mod tests {
         assert!(
             rx_qp.dup_fragments() > 0,
             "go-back-N under WAN delay must re-deliver some fragments"
+        );
+    }
+
+    #[test]
+    fn wan_fabric_yields_a_two_domain_plan() {
+        let (f, _a, _b) = cluster_pair(
+            Dur::from_ms(1),
+            Box::new(PingPong::new(LatMode::SendRc, true, 4, 10)),
+            Box::new(PingPong::new(LatMode::SendRc, false, 4, 10)),
+        );
+        let plan = f.domain_plan().expect("Longbow WAN fabric must split");
+        assert_eq!(plan.domains, 2);
+        // Lookahead per direction: WAN cable latency (100 ns) + transit
+        // (2.5 us) + injected delay (delay/2 = 500 us).
+        let expect = Dur::from_ns(100) + Dur::from_ns(2500) + Dur::from_us(500);
+        assert_eq!(plan.min_lookahead(), Some(expect));
+        // The two HCAs sit on opposite sides of the cut.
+        assert_ne!(plan.domain_of[0], plan.domain_of[1]);
+    }
+
+    #[test]
+    fn lossy_fabric_never_partitions() {
+        let mut builder = FabricBuilder::new(5);
+        let n1 = builder.add_hca(
+            HcaConfig::default(),
+            Box::new(BwPeer::sender(BwConfig::new(4096, 10))),
+        );
+        let n2 = builder.add_hca(HcaConfig::default(), Box::new(BwPeer::receiver()));
+        let sw_a = builder.add_switch();
+        let sw_b = builder.add_switch();
+        builder.link(n1.actor, sw_a, LinkConfig::ddr_lan());
+        builder.link(n2.actor, sw_b, LinkConfig::ddr_lan());
+        LongbowPair::insert_with(
+            &mut builder,
+            sw_a,
+            sw_b,
+            LongbowConfig {
+                loss_per_million: 1000,
+                ..LongbowConfig::default()
+            },
+        );
+        let f = builder.finish();
+        assert!(
+            f.domain_plan().is_none(),
+            "random loss must force the serial engine (shared RNG order)"
+        );
+    }
+
+    /// Full-stack A/B: the same WAN ping-pong run on the partitioned and the
+    /// serial engine must agree on every virtual-time observable.
+    #[test]
+    fn partitioned_run_matches_serial_bit_for_bit() {
+        use ibfabric::fabric::{partition_mode, set_partition_mode, PartitionMode};
+
+        /// Restores the process-wide mode even if the run panics, so one
+        /// failing A/B leg can't leak `Force` into unrelated tests.
+        struct ModeGuard(PartitionMode);
+        impl Drop for ModeGuard {
+            fn drop(&mut self) {
+                set_partition_mode(self.0);
+            }
+        }
+
+        fn run_mode(
+            mode: PartitionMode,
+        ) -> (f64, simcore::Time, ibfabric::fabric::FabricReport, bool) {
+            let _guard = ModeGuard(partition_mode());
+            set_partition_mode(mode);
+            let (mut f, a, b) = cluster_pair(
+                Dur::from_us(200),
+                Box::new(PingPong::new(LatMode::SendRc, true, 256, 40)),
+                Box::new(PingPong::new(LatMode::SendRc, false, 256, 40)),
+            );
+            let (qa, qb) = rc_qp_pair(&mut f, a, b, QpConfig::rc());
+            f.hca_mut(a).ulp_mut::<PingPong>().qpn = qa;
+            f.hca_mut(b).ulp_mut::<PingPong>().qpn = qb;
+            let end = f.run();
+            let lat = f.hca(a).ulp::<PingPong>().mean_latency_us();
+            let report = f.report();
+            let partitioned = f.domain_report().is_some();
+            (lat, end, report, partitioned)
+        }
+
+        let (lat_s, end_s, rep_s, par_s) = run_mode(PartitionMode::Off);
+        let (lat_p, end_p, rep_p, par_p) = run_mode(PartitionMode::Force);
+        assert!(!par_s, "Off must run serially");
+        assert!(par_p, "Force with a plan must partition");
+        assert!(rep_p.domains == 2 && rep_p.sync_rounds > 0);
+        assert_eq!(lat_s, lat_p, "latency must be bit-identical");
+        assert_eq!(end_s, end_p, "quiescence time must be bit-identical");
+        assert_eq!(
+            (rep_s.hca_packets_sent, rep_s.hca_packets_received),
+            (rep_p.hca_packets_sent, rep_p.hca_packets_received),
+        );
+        assert_eq!(
+            rep_s.engine_counters.events_processed, rep_p.engine_counters.events_processed,
+            "both engines must dispatch the same events"
         );
     }
 

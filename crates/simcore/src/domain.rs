@@ -1,0 +1,675 @@
+//! Conservative partitioned parallel execution: split one engine's actor
+//! graph into domains and run each domain's event loop on its own thread.
+//!
+//! ## Why this is safe on a WAN topology
+//!
+//! The paper's entire setup is two InfiniBand clusters joined by Obsidian
+//! Longbow routers whose injected WAN delay (5 µs–10 ms) dwarfs
+//! intra-cluster event spacing. Every message between the clusters crosses
+//! the Longbow–Longbow cable and therefore arrives at least the cable's
+//! minimum propagation delay — the **lookahead** `L[s][d]` — after the event
+//! that sent it. That is exactly the structure conservative parallel
+//! discrete-event simulation (Chandy–Misra style) exploits.
+//!
+//! ## The window protocol
+//!
+//! All domains run rounds in lockstep, two barriers per round:
+//!
+//! 1. **Drain + publish**: each domain moves any staged cross-domain
+//!    arrivals from its inbound channels into its event queue, then
+//!    publishes its next-event time `nvt_d` (∞ when empty).
+//! 2. **Barrier A**, then each domain reads every `nvt` and computes its
+//!    horizon `H_d = min over all domains s of (nvt_s + P[s][d])`, where
+//!    `P[s][d]` is the **lookahead path closure**: the cheapest chain of cut
+//!    crossings leading from `s` to `d` (at least one edge — for `s = d`
+//!    this is the cheapest cycle through `d`, e.g. ping + pong across the
+//!    WAN). The closure matters: a domain's *own* pending event can provoke
+//!    the neighbour into replying at `nvt_d + L[d][s] + L[s][d]`, which a
+//!    naive `min(nvt_s + L[s][d])` bound misses whenever the neighbour's
+//!    queue sits far in the future. If every `nvt` is ∞ (all queues empty —
+//!    and the channels were just drained), everyone exits together.
+//! 3. **Process**: each domain dispatches events with time **strictly
+//!    below** `H_d` (virtual times are integer nanoseconds, so this is
+//!    `run_until(H_d − 1 ns)`). Any message it generates for a foreign
+//!    actor is staged in its outbox instead of entering a queue.
+//! 4. **Flush + Barrier B**: outboxes drain into the per-pair SPSC
+//!    channels; the barrier ensures no channel is written while its
+//!    consumer drains it next round.
+//!
+//! *Progress*: every `P[s][d]` is positive and the channels are empty at
+//! publish time, so the domain holding the globally minimal `nvt` has
+//! `H_d ≥ nvt_d + (cheapest cycle) > nvt_d` and processes at least one
+//! event per round. *Safety*: any future arrival into `d` is the end of a
+//! causal chain that starts at some domain `s`'s first unprocessed event
+//! (time ≥ `nvt_s`) and crosses cuts accumulating at least `P[s][d]`, so it
+//! lands at ≥ `H_d` — never in `d`'s processed past. *Determinism*: rounds
+//! are lockstep, channels are FIFO, and inboxes drain in fixed sender
+//! order, so the insertion order into every queue is a pure function of the
+//! simulation — independent of how the OS schedules the threads (the
+//! start-jitter test knob exists to prove exactly this).
+//!
+//! RNG note: per-domain engines derive their own seeds, so a partitioned
+//! run is only bit-identical to the serial one when the simulation draws no
+//! randomness mid-run. The one RNG consumer in the workload (lossy Longbow
+//! WAN loss) disables partitioning at build time, mirroring how it already
+//! disables fragment-train coalescing.
+
+use crate::engine::{Actor, ActorId, Ctx, Engine, EventKind, Partition, Staged};
+use crate::spsc;
+use crate::time::{Dur, Time};
+use ibwire::Packet;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// How a fabric is split into domains, produced by the fabric builder from
+/// the topology (domains = connected components after cutting every
+/// bridge–bridge cable).
+#[derive(Clone, Debug)]
+pub struct DomainSpec {
+    /// Number of domains (≥ 2 for a useful split).
+    pub domains: usize,
+    /// For every actor id, the domain that owns it.
+    pub domain_of: Vec<u32>,
+    /// `lookahead_ns[s][d]`: minimum virtual-time delay, in nanoseconds, of
+    /// any message a domain-`s` actor can schedule onto a domain-`d` actor.
+    /// `u64::MAX` marks pairs with no connecting cut edge (no traffic).
+    pub lookahead_ns: Vec<Vec<u64>>,
+}
+
+impl DomainSpec {
+    /// The smallest finite lookahead — the window the protocol can sustain.
+    pub fn min_lookahead(&self) -> Option<Dur> {
+        self.lookahead_ns
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&l| l != u64::MAX)
+            .min()
+            .map(Dur::from_ns)
+    }
+
+    /// All-pairs lookahead path closure: `P[s][d]` is the minimum
+    /// accumulated lookahead along any causal chain of **at least one** cut
+    /// crossing from `s` to `d`; for `s == d` that is the cheapest cycle
+    /// through `d`. Floyd–Warshall over the direct-edge matrix (the
+    /// all-infinite diagonal keeps every relaxation a ≥ 1-edge walk);
+    /// `u64::MAX` = no such chain. This, not the raw edge matrix, is what
+    /// bounds future arrivals: a domain's own pending event can provoke a
+    /// neighbour into replying, so its reflected sends constrain its own
+    /// horizon too.
+    pub fn path_closure(&self) -> Vec<Vec<u64>> {
+        let n = self.domains;
+        let mut p = self.lookahead_ns.clone();
+        for k in 0..n {
+            for i in 0..n {
+                if p[i][k] == u64::MAX {
+                    continue;
+                }
+                for j in 0..n {
+                    if p[k][j] == u64::MAX {
+                        continue;
+                    }
+                    let via = p[i][k].saturating_add(p[k][j]);
+                    if via < p[i][j] {
+                        p[i][j] = via;
+                    }
+                }
+            }
+        }
+        p
+    }
+
+    /// A spec is runnable when it has ≥ 2 domains, every lookahead is
+    /// positive, and every domain that can be sent to has a finite
+    /// lookahead from each of its senders (which is how the matrix is
+    /// built: one entry per cut-edge direction).
+    pub fn is_runnable(&self) -> bool {
+        self.domains >= 2
+            && self.lookahead_ns.iter().flatten().all(|&l| l > 0)
+            && (0..self.domains)
+                .all(|d| (0..self.domains).any(|s| s != d && self.lookahead_ns[s][d] != u64::MAX))
+    }
+}
+
+/// What a partitioned run did, for `Fabric::report()` and the perf harness.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DomainReport {
+    /// Domains the run was split into.
+    pub domains: usize,
+    /// Synchronization rounds (barrier pairs) executed.
+    pub sync_rounds: u64,
+    /// Events dispatched by each domain (sums to the serial event count).
+    pub events_per_domain: Vec<u64>,
+}
+
+/// Worker threads claimed by an enclosing parameter sweep. `Fabric::run`'s
+/// auto heuristic subtracts these from `available_parallelism` so a
+/// saturating sweep doesn't oversubscribe cores with domain threads.
+static EXTERNAL_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Test-only schedule perturbation: before its first round, domain `d`
+/// sleeps `((d+1) * knob) % 5000` microseconds. Determinism tests sweep the
+/// knob to randomize thread interleaving; results must not move.
+static START_JITTER_US: AtomicU64 = AtomicU64::new(0);
+
+/// Register `n` sweep worker threads for the duration of the returned
+/// guard. Nested fabric runs see them via [`external_workers`].
+pub fn register_external_workers(n: usize) -> ExternalWorkersGuard {
+    EXTERNAL_WORKERS.fetch_add(n, Ordering::SeqCst);
+    ExternalWorkersGuard(n)
+}
+
+/// Currently registered sweep workers.
+pub fn external_workers() -> usize {
+    EXTERNAL_WORKERS.load(Ordering::SeqCst)
+}
+
+/// RAII handle from [`register_external_workers`]; deregisters on drop
+/// (including during a panic unwind, so a failed sweep can't poison the
+/// heuristic for the rest of the process).
+pub struct ExternalWorkersGuard(usize);
+
+impl Drop for ExternalWorkersGuard {
+    fn drop(&mut self) {
+        EXTERNAL_WORKERS.fetch_sub(self.0, Ordering::SeqCst);
+    }
+}
+
+/// Set the test-only start-jitter knob (0 disables). See [`START_JITTER_US`].
+pub fn set_test_start_jitter_us(us: u64) {
+    START_JITTER_US.store(us, Ordering::SeqCst);
+}
+
+/// Placeholder occupying a foreign actor's slot in a domain engine so actor
+/// ids stay globally stable. Dispatching to it means the partition map or
+/// the lookahead protocol is wrong — fail loudly.
+struct Foreign;
+
+impl Actor for Foreign {
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: ActorId, _msg: Box<dyn Any>) {
+        panic!("event dispatched to an actor owned by another domain");
+    }
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _from: ActorId, _pkt: Packet) {
+        panic!("packet dispatched to an actor owned by another domain");
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {
+        panic!("timer dispatched to an actor owned by another domain");
+    }
+}
+
+/// Run `engine` to quiescence split across `spec.domains` threads, then
+/// merge everything (actors, clocks, counters, any leftover events) back so
+/// the caller sees the same `Engine` API surface as a serial run.
+///
+/// Requirements: `spec.is_runnable()`, one `domain_of` entry per actor, and
+/// tracing disabled (a single bounded trace cannot interleave two threads'
+/// dispatch records meaningfully).
+pub fn run_partitioned(engine: &mut Engine, spec: &DomainSpec) -> DomainReport {
+    let n = spec.domains;
+    assert!(spec.is_runnable(), "domain spec is not runnable: {spec:?}");
+    assert_eq!(
+        spec.domain_of.len(),
+        engine.actors.len(),
+        "domain map must cover every actor"
+    );
+    assert!(
+        engine.trace.is_none(),
+        "partitioned runs do not support tracing; run serially instead"
+    );
+
+    let domain_of: Arc<[u32]> = spec.domain_of.clone().into();
+
+    // --- Split: one engine per domain, actor ids preserved. -------------
+    let mut subs: Vec<Engine> = (0..n as u64)
+        .map(|d| {
+            // Distinct deterministic per-domain seeds (never drawn from in
+            // figure workloads — lossy fabrics run serially — but the
+            // engines need *a* generator).
+            let mut e = Engine::new(
+                engine
+                    .seed
+                    .wrapping_add((d + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            e.now = engine.now;
+            e.event_limit = engine.event_limit;
+            // Disjoint timer-id ranges: domain d allocates above a high-bits
+            // tag so post-split TimerIds never collide across domains.
+            e.core.next_timer_id = engine.core.next_timer_id + ((d + 1) << 48);
+            e.core.cancelled = engine.core.cancelled.clone();
+            e.core.partition = Some(Partition {
+                domain: d as u32,
+                domain_of: Arc::clone(&domain_of),
+                outbox: Vec::new(),
+            });
+            e
+        })
+        .collect();
+
+    // Actors move to their owner; every other domain gets a Foreign stub at
+    // the same index so ActorIds remain valid everywhere.
+    for (id, actor) in std::mem::take(&mut engine.actors).into_iter().enumerate() {
+        let owner = domain_of[id] as usize;
+        for (d, sub) in subs.iter_mut().enumerate() {
+            if d == owner {
+                sub.actors.push(actor_slot_placeholder());
+            } else {
+                sub.actors.push(Box::new(Foreign));
+            }
+        }
+        let _ = std::mem::replace(&mut subs[owner].actors[id], actor);
+    }
+
+    // Already-queued events redistribute in (time, seq) pop order, so each
+    // domain's queue preserves the global relative order of its events.
+    while let Some(Reverse(key)) = engine.core.queue.pop() {
+        let kind = engine.core.nodes[key.idx as usize]
+            .take()
+            .expect("heap key points at an empty slab slot");
+        let owner = match &kind {
+            EventKind::Message { to, .. } => domain_of[*to] as usize,
+            EventKind::Timer { actor, .. } => domain_of[*actor] as usize,
+        };
+        subs[owner].core.push_event(key.at(), kind);
+    }
+    engine.core.nodes.clear();
+    engine.core.free.clear();
+
+    // --- Per-pair SPSC channels. ----------------------------------------
+    let mut senders: Vec<Vec<Option<spsc::Sender<Staged>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    let mut receivers: Vec<Vec<Option<spsc::Receiver<Staged>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    for src in 0..n {
+        for dst in 0..n {
+            if src != dst {
+                let (tx, rx) = spsc::channel();
+                senders[src][dst] = Some(tx);
+                receivers[dst][src] = Some(rx);
+            }
+        }
+    }
+
+    // --- Shared synchronization state. ----------------------------------
+    let nvt: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let barrier = Barrier::new(n);
+    let stop_flag = AtomicBool::new(false);
+    let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    let jitter = START_JITTER_US.load(Ordering::SeqCst);
+    // Horizons come from the path closure, not the raw edge matrix: see the
+    // module docs for why reflected sends constrain a domain's own window.
+    let paths = spec.path_closure();
+
+    let mut results: Vec<(Engine, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = subs
+            .into_iter()
+            .zip(senders)
+            .zip(receivers)
+            .enumerate()
+            .map(|(me, ((eng, tx), rx))| {
+                let nvt = &nvt;
+                let barrier = &barrier;
+                let stop_flag = &stop_flag;
+                let panic_slot = &panic_slot;
+                let paths = &paths;
+                s.spawn(move || {
+                    domain_thread(
+                        me, eng, tx, rx, nvt, barrier, stop_flag, panic_slot, paths, jitter,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("domain thread exits cleanly"))
+            .collect()
+    });
+    if let Some(payload) = panic_slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        std::panic::resume_unwind(payload);
+    }
+
+    // --- Merge back into the caller's engine. ---------------------------
+    let sync_rounds = results[0].1;
+    let mut report = DomainReport {
+        domains: n,
+        sync_rounds,
+        events_per_domain: results
+            .iter()
+            .map(|(e, _)| e.core.counters.events_processed)
+            .collect(),
+    };
+    report.events_per_domain.shrink_to_fit();
+
+    engine.now = results
+        .iter()
+        .map(|(e, _)| e.now)
+        .max()
+        .unwrap_or(engine.now);
+    engine.core.stop = stop_flag.load(Ordering::SeqCst);
+
+    // Actors return home in id order.
+    let actor_count = domain_of.len();
+    engine.actors.reserve(actor_count);
+    for id in 0..actor_count {
+        let owner = domain_of[id] as usize;
+        let slot = std::mem::replace(&mut results[owner].0.actors[id], Box::new(Foreign));
+        engine.actors.push(slot);
+    }
+
+    let mut leftovers: Vec<(u64, usize, u64, EventKind)> = Vec::new();
+    for (d, (sub, _)) in results.iter_mut().enumerate() {
+        engine.core.counters += sub.core.counters;
+        engine.core.next_timer_id = engine.core.next_timer_id.max(sub.core.next_timer_id);
+        engine.core.cancelled.extend(sub.core.cancelled.drain());
+        // A stop request can strand events in domain queues; pull them back
+        // so the merged engine's queue matches "stopped mid-run" serial
+        // state as closely as a parallel run can (ordered by time, then
+        // domain, then per-domain scheduling order).
+        let mut order = 0u64;
+        while let Some(Reverse(key)) = sub.core.queue.pop() {
+            let kind = sub.core.nodes[key.idx as usize]
+                .take()
+                .expect("heap key points at an empty slab slot");
+            leftovers.push((key.at().as_ns(), d, order, kind));
+            order += 1;
+        }
+    }
+    leftovers.sort_by_key(|&(at, d, ord, _)| (at, d, ord));
+    for (at, _, _, kind) in leftovers {
+        engine.core.push_event(Time::from_ns(at), kind);
+    }
+    report
+}
+
+/// Fresh placeholder box used while threading actors into domain vectors.
+fn actor_slot_placeholder() -> Box<dyn Actor> {
+    Box::new(Foreign)
+}
+
+/// One domain's thread: the lockstep window loop described in the module
+/// docs. Returns the engine (with its share of the final state) and the
+/// number of synchronization rounds executed.
+#[allow(clippy::too_many_arguments)]
+fn domain_thread(
+    me: usize,
+    mut eng: Engine,
+    mut tx: Vec<Option<spsc::Sender<Staged>>>,
+    mut rx: Vec<Option<spsc::Receiver<Staged>>>,
+    nvt: &[AtomicU64],
+    barrier: &Barrier,
+    stop_flag: &AtomicBool,
+    panic_slot: &Mutex<Option<Box<dyn Any + Send>>>,
+    paths_ns: &[Vec<u64>],
+    jitter_us: u64,
+) -> (Engine, u64) {
+    let n = nvt.len();
+    if jitter_us > 0 {
+        // Deterministic per-domain skew, purely to shake the OS schedule.
+        std::thread::sleep(std::time::Duration::from_micros(
+            (me as u64 + 1).wrapping_mul(jitter_us) % 5000,
+        ));
+    }
+    let mut rounds = 0u64;
+    loop {
+        // Drain inbound channels in fixed sender order: insertion order
+        // into the queue is deterministic no matter how threads raced.
+        for src in 0..n {
+            if let Some(rx) = rx[src].as_mut() {
+                while let Some(Staged { at, from, to, msg }) = rx.pop() {
+                    eng.core
+                        .push_event(at, EventKind::Message { from, to, msg });
+                }
+            }
+        }
+        let my_nvt = eng.next_event_time().map_or(u64::MAX, |t| t.as_ns());
+        nvt[me].store(my_nvt, Ordering::SeqCst);
+        barrier.wait();
+        // Every domain reads the same snapshot (writes happened before the
+        // barrier, next writes happen after the second barrier).
+        let snap: Vec<u64> = nvt.iter().map(|v| v.load(Ordering::SeqCst)).collect();
+        if stop_flag.load(Ordering::SeqCst) || snap.iter().all(|&v| v == u64::MAX) {
+            // All queues and (just-drained, quiescent) channels are empty,
+            // or a stop was requested: everyone exits on the same round.
+            break;
+        }
+        rounds += 1;
+        // Horizon over the path closure — note `src == me` participates via
+        // its cheapest cycle: our own sends can be reflected back at us.
+        let mut horizon = u64::MAX;
+        for (src, row) in paths_ns.iter().enumerate() {
+            if row[me] != u64::MAX {
+                horizon = horizon.min(snap[src].saturating_add(row[me]));
+            }
+        }
+        if my_nvt < horizon {
+            // Process strictly below the horizon (integer-ns times).
+            let deadline = Time::from_ns(horizon - 1);
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                eng.run_until(deadline);
+            }));
+            if let Err(payload) = run {
+                // Keep the barrier protocol alive so sibling threads don't
+                // deadlock; the payload re-raises on the caller thread.
+                panic_slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .get_or_insert(payload);
+                stop_flag.store(true, Ordering::SeqCst);
+            }
+            if eng.core.stop {
+                stop_flag.store(true, Ordering::SeqCst);
+            }
+        }
+        // Flush staged cross-domain messages; the barrier below guarantees
+        // consumers only drain after every producer is done writing.
+        if let Some(p) = eng.core.partition.as_mut() {
+            for staged in p.outbox.drain(..) {
+                let dst = p.domain_of[staged.to] as usize;
+                tx[dst]
+                    .as_mut()
+                    .expect("staged message for a domain with no channel")
+                    .push(staged);
+            }
+        }
+        barrier.wait();
+    }
+    (eng, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineCounters;
+
+    /// Echo actor mirroring the engine tests, usable across domains.
+    struct Pong {
+        peer: ActorId,
+        delay: Dur,
+        count: u32,
+        limit: u32,
+    }
+
+    impl Actor for Pong {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, _msg: Box<dyn Any>) {
+            self.count += 1;
+            if self.count < self.limit {
+                ctx.send(self.peer, Box::new(0u8), self.delay);
+            }
+        }
+    }
+
+    fn two_domain_spec() -> DomainSpec {
+        DomainSpec {
+            domains: 2,
+            domain_of: vec![0, 1],
+            lookahead_ns: vec![
+                vec![u64::MAX, Dur::from_us(100).as_ns()],
+                vec![Dur::from_us(100).as_ns(), u64::MAX],
+            ],
+        }
+    }
+
+    fn ping_pong_engine(limit: u32) -> Engine {
+        let mut e = Engine::new(7);
+        let a = e.add_actor(Box::new(Pong {
+            peer: 1,
+            delay: Dur::from_us(100),
+            count: 0,
+            limit,
+        }));
+        let b = e.add_actor(Box::new(Pong {
+            peer: 0,
+            delay: Dur::from_us(100),
+            count: 0,
+            limit,
+        }));
+        e.schedule_message(Time::ZERO, a, b, Box::new(0u8));
+        e
+    }
+
+    #[test]
+    fn partitioned_ping_pong_matches_serial() {
+        let mut serial = ping_pong_engine(50);
+        let end_serial = serial.run();
+
+        let mut par = ping_pong_engine(50);
+        let report = run_partitioned(&mut par, &two_domain_spec());
+
+        assert_eq!(par.now(), end_serial);
+        assert_eq!(par.events_processed(), serial.events_processed());
+        assert_eq!(report.domains, 2);
+        assert!(report.sync_rounds > 0);
+        assert_eq!(
+            report.events_per_domain.iter().sum::<u64>(),
+            serial.events_processed()
+        );
+        // Actors merged back with state intact and ids preserved.
+        assert_eq!(par.actor::<Pong>(0).count, serial.actor::<Pong>(0).count);
+        assert_eq!(par.actor::<Pong>(1).count, serial.actor::<Pong>(1).count);
+    }
+
+    #[test]
+    fn partitioned_counters_consolidate() {
+        let mut serial = ping_pong_engine(40);
+        serial.run();
+        let mut par = ping_pong_engine(40);
+        run_partitioned(&mut par, &two_domain_spec());
+        let c: EngineCounters = par.counters();
+        assert_eq!(c.events_processed, serial.counters().events_processed);
+        assert!(c.pool_hits + c.events_allocated >= c.events_processed);
+    }
+
+    #[test]
+    fn jitter_does_not_change_outcome() {
+        let mut base = ping_pong_engine(30);
+        run_partitioned(&mut base, &two_domain_spec());
+        for knob in [1u64, 137, 991] {
+            set_test_start_jitter_us(knob);
+            let mut e = ping_pong_engine(30);
+            run_partitioned(&mut e, &two_domain_spec());
+            assert_eq!(e.now(), base.now(), "jitter {knob} changed the clock");
+            assert_eq!(e.events_processed(), base.events_processed());
+        }
+        set_test_start_jitter_us(0);
+    }
+
+    #[test]
+    fn external_worker_guard_is_panic_safe() {
+        assert_eq!(external_workers(), 0);
+        {
+            let _g = register_external_workers(3);
+            assert_eq!(external_workers(), 3);
+            let r = std::panic::catch_unwind(|| {
+                let _inner = register_external_workers(2);
+                panic!("boom");
+            });
+            assert!(r.is_err());
+        }
+        assert_eq!(external_workers(), 0, "guards must release on unwind");
+    }
+
+    #[test]
+    fn path_closure_finds_cycles_and_transit() {
+        // Ring of three: 0 → 1 → 2 → 0, each hop 10 us.
+        let hop = Dur::from_us(10).as_ns();
+        let spec = DomainSpec {
+            domains: 3,
+            domain_of: vec![0, 1, 2],
+            lookahead_ns: vec![
+                vec![u64::MAX, hop, u64::MAX],
+                vec![u64::MAX, u64::MAX, hop],
+                vec![hop, u64::MAX, u64::MAX],
+            ],
+        };
+        let p = spec.path_closure();
+        assert_eq!(p[0][1], hop, "direct edge survives");
+        assert_eq!(p[0][2], 2 * hop, "transit path composes");
+        assert_eq!(p[0][0], 3 * hop, "own cheapest cycle bounds self");
+        assert_eq!(p[1][0], 2 * hop);
+    }
+
+    #[test]
+    fn unrunnable_specs_are_rejected() {
+        let mut s = two_domain_spec();
+        s.lookahead_ns[0][1] = 0;
+        assert!(!s.is_runnable(), "zero lookahead breaks progress");
+        let mut t = two_domain_spec();
+        t.domains = 1;
+        assert!(!t.is_runnable());
+    }
+
+    #[test]
+    fn foreign_stub_panics_loudly() {
+        // The Foreign placeholder exists to turn partition-map bugs into
+        // immediate, named failures instead of silent state corruption.
+        let mut e = Engine::new(1);
+        let a = e.add_actor(Box::new(Foreign));
+        e.schedule_message(Time::ZERO, a, a, Box::new(0u8));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.run();
+        }));
+        let err = r.expect_err("dispatch to a Foreign stub must panic");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("another domain"),
+            "panic should name the routing bug: {msg}"
+        );
+    }
+
+    /// An actor panicking inside a domain thread must not deadlock the
+    /// sibling threads at a barrier; the payload re-raises on the caller.
+    /// The test completing (rather than hanging) is half the assertion.
+    struct Bomb;
+
+    impl Actor for Bomb {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: ActorId, _msg: Box<dyn Any>) {
+            panic!("bomb actor detonated");
+        }
+    }
+
+    #[test]
+    fn domain_thread_panic_propagates_without_deadlock() {
+        let mut e = Engine::new(3);
+        let a = e.add_actor(Box::new(Bomb));
+        let b = e.add_actor(Box::new(Bomb));
+        e.schedule_message(Time::from_us(1), a, b, Box::new(0u8));
+        let spec = two_domain_spec();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_partitioned(&mut e, &spec);
+        }));
+        let err = r.expect_err("domain-thread panic must surface to the caller");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("detonated"), "payload should survive: {msg}");
+    }
+}

@@ -51,17 +51,23 @@ use rand::SeedableRng;
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
 
 /// Index of an actor within an [`Engine`].
 pub type ActorId = usize;
 
 /// A message travelling between actors: the typed packet lane or the boxed
 /// control lane. See the [module docs](self) for why the lanes exist.
+///
+/// Control payloads carry a `Send` bound so a whole [`Engine`] — including
+/// its queued events — can move to another thread when the fabric is split
+/// into partitioned domains (see [`crate::domain`]). Handlers still receive
+/// a plain `Box<dyn Any>`; the bound only constrains construction.
 pub enum Msg {
     /// A fabric packet, carried by value (fast path).
     Packet(Packet),
-    /// Anything else, carried as `Box<dyn Any>` (control path).
-    Ctrl(Box<dyn Any>),
+    /// Anything else, carried as `Box<dyn Any + Send>` (control path).
+    Ctrl(Box<dyn Any + Send>),
 }
 
 impl Msg {
@@ -103,8 +109,8 @@ impl From<Packet> for Msg {
     }
 }
 
-impl From<Box<dyn Any>> for Msg {
-    fn from(b: Box<dyn Any>) -> Msg {
+impl From<Box<dyn Any + Send>> for Msg {
+    fn from(b: Box<dyn Any + Send>) -> Msg {
         Msg::Ctrl(b)
     }
 }
@@ -112,7 +118,7 @@ impl From<Box<dyn Any>> for Msg {
 /// Any concretely-typed box rides the control lane; `Box::new(value)` call
 /// sites convert implicitly. (No overlap with the other impls: `dyn Any` is
 /// unsized and `Packet` converts by value, not boxed.)
-impl<T: Any> From<Box<T>> for Msg {
+impl<T: Any + Send> From<Box<T>> for Msg {
     fn from(b: Box<T>) -> Msg {
         Msg::Ctrl(b)
     }
@@ -126,8 +132,10 @@ pub struct TimerId(u64);
 ///
 /// Implementations must be `'static` (the `Any` supertrait) so the engine can
 /// hand back concrete types via [`Engine::actor_mut`] during setup and result
-/// collection.
-pub trait Actor: Any {
+/// collection, and `Send` so a partitioned run can move each domain's actors
+/// onto its own thread (see [`crate::domain`]). Actors are plain state
+/// machines — no interior sharing — so the bound is free in practice.
+pub trait Actor: Any + Send {
     /// Deliver a control-lane message sent by `from`.
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Box<dyn Any>);
 
@@ -145,7 +153,7 @@ pub trait Actor: Any {
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
 }
 
-enum EventKind {
+pub(crate) enum EventKind {
     Message {
         from: ActorId,
         to: ActorId,
@@ -160,14 +168,35 @@ enum EventKind {
     },
 }
 
+/// A cross-domain message captured at scheduling time by a partitioned
+/// engine: the absolute delivery time plus the message itself. Staged
+/// messages travel between domain threads over the SPSC channels in
+/// [`crate::domain`] and are re-queued by the receiving domain.
+pub(crate) struct Staged {
+    pub(crate) at: Time,
+    pub(crate) from: ActorId,
+    pub(crate) to: ActorId,
+    pub(crate) msg: Msg,
+}
+
+/// Partition context installed on a domain's engine by
+/// [`crate::domain::run_partitioned`]: which domain this engine is, the
+/// global actor→domain map, and the outbox where messages addressed to
+/// foreign actors are staged instead of entering the local queue.
+pub(crate) struct Partition {
+    pub(crate) domain: u32,
+    pub(crate) domain_of: Arc<[u32]>,
+    pub(crate) outbox: Vec<Staged>,
+}
+
 /// Compact heap entry: the event payload lives in the slab at `idx`, so heap
 /// sift operations move 24 bytes instead of a full event node. `(time, seq)`
 /// is packed into one `u128` so each sift comparison is a single wide
 /// integer compare.
-struct HeapKey {
+pub(crate) struct HeapKey {
     /// `(at.as_ns() << 64) | seq` — orders by time, then scheduling order.
     order: u128,
-    idx: u32,
+    pub(crate) idx: u32,
 }
 
 impl HeapKey {
@@ -180,7 +209,7 @@ impl HeapKey {
     }
 
     #[inline]
-    fn at(&self) -> Time {
+    pub(crate) fn at(&self) -> Time {
         Time::from_ns((self.order >> 64) as u64)
     }
 }
@@ -256,30 +285,80 @@ impl EngineCounters {
     }
 }
 
+/// Merge another engine's counters into this one — how a multi-domain run
+/// consolidates its per-domain counter blocks into the single block surfaced
+/// by `Fabric::report()`. Throughput-style fields add; `peak_queue_len` is a
+/// high-water mark across *independent* queues, so it takes the max (the
+/// domains' queues never coexist in one heap).
+impl std::ops::AddAssign for EngineCounters {
+    fn add_assign(&mut self, rhs: EngineCounters) {
+        self.events_processed += rhs.events_processed;
+        self.events_allocated += rhs.events_allocated;
+        self.pool_hits += rhs.pool_hits;
+        self.peak_queue_len = self.peak_queue_len.max(rhs.peak_queue_len);
+        self.timers_cancelled += rhs.timers_cancelled;
+        self.trains_emitted += rhs.trains_emitted;
+        self.fragments_coalesced += rhs.fragments_coalesced;
+    }
+}
+
 /// Everything the engine owns except the actor table and trace, grouped so
 /// [`Ctx`] can borrow it whole while one actor is borrowed out of the table
 /// (disjoint struct fields split-borrow cleanly).
-struct Core {
-    seq: u64,
+pub(crate) struct Core {
+    pub(crate) seq: u64,
     /// Min-ordered (via `Reverse`) compact keys; payloads live in `nodes`.
-    queue: BinaryHeap<Reverse<HeapKey>>,
+    pub(crate) queue: BinaryHeap<Reverse<HeapKey>>,
     /// Slab of event payloads, indexed by `HeapKey::idx`.
-    nodes: Vec<Option<EventKind>>,
+    pub(crate) nodes: Vec<Option<EventKind>>,
     /// Recycled slab indices.
-    free: Vec<u32>,
-    rng: SmallRng,
-    stop: bool,
-    next_timer_id: u64,
+    pub(crate) free: Vec<u32>,
+    pub(crate) rng: SmallRng,
+    pub(crate) stop: bool,
+    pub(crate) next_timer_id: u64,
     /// Tombstones for cancelled-but-not-yet-popped timers.
-    cancelled: HashSet<u64>,
-    counters: EngineCounters,
+    pub(crate) cancelled: HashSet<u64>,
+    pub(crate) counters: EngineCounters,
+    /// `Some` while this engine runs as one domain of a partitioned
+    /// simulation; messages to foreign actors detour into its outbox.
+    pub(crate) partition: Option<Partition>,
 }
 
 impl Core {
     /// Acquire a slab slot for `kind` — from the free pool when possible —
-    /// and push its compact key onto the heap.
+    /// and push its compact key onto the heap. Under a partition, a message
+    /// addressed to an actor owned by another domain is staged in the outbox
+    /// instead (its delivery time is already absolute, so the receiving
+    /// domain can insert it directly).
     #[inline]
-    fn push_event(&mut self, at: Time, kind: EventKind) {
+    pub(crate) fn push_event(&mut self, at: Time, kind: EventKind) {
+        // Keep the serial fast path a single predicted-not-taken branch:
+        // `kind` is ~100 bytes, so it must not move through a match here.
+        if self.partition.is_some() {
+            return self.push_event_partitioned(at, kind);
+        }
+        self.push_event_local(at, kind);
+    }
+
+    /// The detour taken while this engine runs as one partitioned domain:
+    /// messages addressed to foreign actors are staged in the outbox,
+    /// everything else falls through to the local queue.
+    #[cold]
+    fn push_event_partitioned(&mut self, at: Time, kind: EventKind) {
+        let p = self.partition.as_mut().expect("checked by push_event");
+        match kind {
+            EventKind::Message { from, to, msg } if p.domain_of[to] != p.domain => {
+                p.outbox.push(Staged { at, from, to, msg });
+            }
+            kind => self.push_event_local(at, kind),
+        }
+    }
+
+    /// Slab + heap insertion shared by both paths above. `inline(always)`
+    /// keeps `kind` (~100 bytes) from being copied across an outlined call
+    /// on the serial fast path.
+    #[inline(always)]
+    fn push_event_local(&mut self, at: Time, kind: EventKind) {
         let idx = if let Some(idx) = self.free.pop() {
             self.counters.pool_hits += 1;
             debug_assert!(self.nodes[idx as usize].is_none(), "free-list slot in use");
@@ -411,12 +490,15 @@ impl Ctx<'_> {
 /// The discrete-event engine: owns all actors, the event queue, virtual time,
 /// and the seeded random generator.
 pub struct Engine {
-    now: Time,
-    actors: Vec<Box<dyn Actor>>,
-    core: Core,
+    pub(crate) now: Time,
+    pub(crate) actors: Vec<Box<dyn Actor>>,
+    pub(crate) core: Core,
     /// Safety valve against runaway protocol loops in tests.
-    event_limit: u64,
-    trace: Option<Trace>,
+    pub(crate) event_limit: u64,
+    pub(crate) trace: Option<Trace>,
+    /// The seed this engine was created with; per-domain engines of a
+    /// partitioned run derive their own deterministic seeds from it.
+    pub(crate) seed: u64,
 }
 
 impl Engine {
@@ -435,9 +517,11 @@ impl Engine {
                 next_timer_id: 0,
                 cancelled: HashSet::new(),
                 counters: EngineCounters::default(),
+                partition: None,
             },
             event_limit: u64::MAX,
             trace: None,
+            seed,
         }
     }
 
@@ -496,6 +580,15 @@ impl Engine {
         self.now
     }
 
+    /// Timestamp of the earliest queued event, or `None` when the queue is
+    /// empty. Cancelled-but-unpopped timers still count (their slot is only
+    /// discovered on pop), which is conservative: the reported time is never
+    /// later than the next dispatch — exactly what the partitioned engine's
+    /// window computation needs.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.core.queue.peek().map(|Reverse(key)| key.at())
+    }
+
     /// Total events dispatched so far.
     pub fn events_processed(&self) -> u64 {
         self.core.counters.events_processed
@@ -541,14 +634,41 @@ impl Engine {
     /// stop was requested. Cancelled timers are skipped (virtual time still
     /// advances past them) and do not count as processed events.
     pub fn step(&mut self) -> bool {
+        self.step_bounded(None)
+    }
+
+    /// [`Engine::step`] with an optional time bound: an event after
+    /// `deadline` is left in the queue and `false` is returned. The bound is
+    /// re-checked after every skipped cancelled timer — without that, a run
+    /// of cancelled timers below the bound would let the next *live* event
+    /// dispatch arbitrarily far beyond it, which the partitioned engine's
+    /// window protocol cannot tolerate (the horizon is a hard causality
+    /// limit, not a hint).
+    ///
+    /// `inline(always)` so each caller gets a copy specialized for its
+    /// constant `deadline` variant — [`Engine::step`] keeps the branch-free
+    /// loop it had before bounded stepping existed.
+    #[inline(always)]
+    fn step_bounded(&mut self, deadline: Option<Time>) -> bool {
         loop {
             if self.core.stop || self.core.counters.events_processed >= self.event_limit {
                 return false;
             }
+            if let Some(d) = deadline {
+                match self.core.queue.peek() {
+                    Some(Reverse(key)) if key.at() <= d => {}
+                    _ => return false,
+                }
+            }
             let Some(Reverse(key)) = self.core.queue.pop() else {
                 return false;
             };
-            debug_assert!(key.at() >= self.now, "time went backwards");
+            debug_assert!(
+                key.at() >= self.now,
+                "time went backwards: popped event at {:?} behind now {:?}",
+                key.at(),
+                self.now
+            );
             self.now = key.at();
             let kind = self.core.nodes[key.idx as usize]
                 .take()
@@ -628,18 +748,10 @@ impl Engine {
     }
 
     /// Run until virtual time would exceed `deadline` (events at exactly
-    /// `deadline` are processed). Returns the final virtual time.
+    /// `deadline` are processed; everything later — including cancelled
+    /// timers — stays queued). Returns the final virtual time.
     pub fn run_until(&mut self, deadline: Time) -> Time {
-        loop {
-            match self.core.queue.peek() {
-                Some(Reverse(key)) if key.at() <= deadline => {
-                    if !self.step() {
-                        break;
-                    }
-                }
-                _ => break,
-            }
-        }
+        while self.step_bounded(Some(deadline)) {}
         self.now
     }
 
@@ -678,7 +790,10 @@ mod tests {
         fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Box<dyn Any>) {
             self.count += 1;
             if self.count < self.limit {
-                ctx.send(from, msg, self.delay);
+                // Re-box the payload: the control lane requires `Send`
+                // construction, which the received `Box<dyn Any>` erased.
+                let v = *msg.downcast::<u8>().expect("echo payload is a u8");
+                ctx.send(from, Box::new(v), self.delay);
             } else {
                 ctx.stop();
             }
@@ -836,6 +951,47 @@ mod tests {
         assert_eq!(end, Time::from_us(60));
     }
 
+    /// Regression: a cancelled timer sitting below the deadline must not
+    /// let `run_until` dispatch the next live event beyond the deadline.
+    /// (The partitioned engine's horizon is a hard causality limit; an
+    /// overshoot here surfaced as "time went backwards" in domain runs.)
+    #[test]
+    fn run_until_stops_at_deadline_across_cancelled_timers() {
+        struct T {
+            armed: Option<TimerId>,
+            fired: Vec<u64>,
+        }
+        impl Actor for T {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, _msg: Box<dyn Any>) {
+                let id = ctx.timer_cancellable(Dur::from_us(5), 7);
+                ctx.cancel_timer(id);
+                self.armed = Some(id);
+                ctx.timer(Dur::from_us(100), 8); // live, far beyond the deadline
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut e = Engine::new(1);
+        let t = e.add_actor(Box::new(T {
+            armed: None,
+            fired: vec![],
+        }));
+        e.schedule_message(Time::ZERO, t, t, Box::new("go"));
+        let end = e.run_until(Time::from_us(10));
+        assert!(
+            end <= Time::from_us(10),
+            "run_until overshot its deadline: {end:?}"
+        );
+        assert!(
+            e.actor::<T>(t).fired.is_empty(),
+            "the 100us timer fired inside a 10us window"
+        );
+        // The live timer is still pending and fires once the window allows.
+        assert_eq!(e.run_until(Time::from_us(100)), Time::from_us(100));
+        assert_eq!(e.actor::<T>(t).fired, vec![8]);
+    }
+
     #[test]
     fn packet_lane_dispatches_to_on_packet() {
         struct PktSink {
@@ -959,6 +1115,48 @@ mod tests {
         let mut e = Engine::new(1);
         let a = e.add_actor(Box::new(Other));
         let _ = e.actor::<Echo>(a);
+    }
+
+    #[test]
+    fn next_event_time_peeks_without_popping() {
+        let mut e = Engine::new(1);
+        let a = e.add_actor(Box::new(Echo::new(Dur::ZERO, 1)));
+        assert_eq!(e.next_event_time(), None);
+        e.schedule_message(Time::from_us(7), a, a, Box::new(0u8));
+        e.schedule_message(Time::from_us(3), a, a, Box::new(0u8));
+        assert_eq!(e.next_event_time(), Some(Time::from_us(3)));
+        assert_eq!(e.events_processed(), 0, "peeking must not dispatch");
+    }
+
+    #[test]
+    fn counters_merge_sums_and_maxes() {
+        let a = EngineCounters {
+            events_processed: 10,
+            events_allocated: 2,
+            pool_hits: 8,
+            peak_queue_len: 5,
+            timers_cancelled: 1,
+            trains_emitted: 3,
+            fragments_coalesced: 30,
+        };
+        let b = EngineCounters {
+            events_processed: 4,
+            events_allocated: 1,
+            pool_hits: 3,
+            peak_queue_len: 9,
+            timers_cancelled: 0,
+            trains_emitted: 1,
+            fragments_coalesced: 10,
+        };
+        let mut m = a;
+        m += b;
+        assert_eq!(m.events_processed, 14);
+        assert_eq!(m.events_allocated, 3);
+        assert_eq!(m.pool_hits, 11);
+        assert_eq!(m.peak_queue_len, 9, "peak is a max across disjoint queues");
+        assert_eq!(m.timers_cancelled, 1);
+        assert_eq!(m.trains_emitted, 4);
+        assert_eq!(m.fragments_coalesced, 40);
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Lock-free single-producer/single-consumer channel for cross-domain event
+//! traffic.
+//!
+//! Each ordered pair of domains in a partitioned run (see [`crate::domain`])
+//! owns one of these channels. The traffic pattern is bursty but sparse —
+//! one staged message per WAN crossing, flushed once per synchronization
+//! window — so the channel favors simplicity and strict FIFO order over
+//! batched throughput: an unbounded linked queue in the style of Vyukov's
+//! non-intrusive MPSC queue, restricted to one producer by ownership
+//! (`Sender`/`Receiver` are single-owner handles; neither is `Clone`).
+//!
+//! Progress guarantees: `push` is wait-free (one allocation, one atomic
+//! swap, one store); `pop` is wait-free (one atomic load). There are no
+//! locks anywhere, so a domain thread can never block another by being
+//! descheduled mid-operation.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+struct Node<T> {
+    next: AtomicPtr<Node<T>>,
+    /// `None` only for the stub node (and after the value is popped).
+    val: Option<T>,
+}
+
+struct Inner<T> {
+    /// Most recently pushed node; producers swap themselves in here.
+    head: AtomicPtr<Node<T>>,
+    /// Consumer-private cursor: the node *before* the next value (starts at
+    /// the stub). Only the consumer touches it, so it needs no atomicity —
+    /// it lives behind a raw pointer cell to keep `Inner` shareable.
+    tail: std::cell::UnsafeCell<*mut Node<T>>,
+}
+
+// SAFETY: `head` is an atomic; `tail` is only ever accessed by the single
+// `Receiver` (enforced by ownership — `Receiver` is not `Clone` and `pop`
+// takes `&mut self`). Values of `T` cross threads, hence `T: Send`.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Both handles are gone; walk the list from the consumer cursor and
+        // free every node (including un-popped values).
+        let mut p = unsafe { *self.tail.get() };
+        while !p.is_null() {
+            let boxed = unsafe { Box::from_raw(p) };
+            p = boxed.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// The producing half: owned by exactly one thread.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The consuming half: owned by exactly one thread.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Create an empty channel.
+pub fn channel<T: Send>() -> (Sender<T>, Receiver<T>) {
+    let stub = Box::into_raw(Box::new(Node {
+        next: AtomicPtr::new(ptr::null_mut()),
+        val: None,
+    }));
+    let inner = Arc::new(Inner {
+        head: AtomicPtr::new(stub),
+        tail: std::cell::UnsafeCell::new(stub),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T: Send> Sender<T> {
+    /// Append `v` to the channel. Wait-free; never blocks the consumer.
+    pub fn push(&mut self, v: T) {
+        let node = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            val: Some(v),
+        }));
+        // Publish the node as the new head, then link the previous head to
+        // it. Between the swap and the store the consumer sees a `null`
+        // next and treats the queue as (momentarily) empty — acceptable
+        // here because domains only drain at synchronization points, after
+        // the producer has quiesced at a barrier.
+        let prev = self.inner.head.swap(node, Ordering::AcqRel);
+        // SAFETY: `prev` is a node we (or `channel`) allocated and never
+        // freed: the consumer only frees nodes strictly behind its cursor,
+        // and its cursor cannot pass `prev` until `prev.next` is non-null —
+        // which only happens on the next line.
+        unsafe { (*prev).next.store(node, Ordering::Release) };
+    }
+}
+
+impl<T: Send> Receiver<T> {
+    /// Take the oldest value, if any. Wait-free.
+    pub fn pop(&mut self) -> Option<T> {
+        // SAFETY: the cursor is consumer-private (see `Inner`), and every
+        // node it reaches was fully initialized by `push` before the
+        // `Release` store that made it reachable (paired by the `Acquire`
+        // load below).
+        unsafe {
+            let tail = *self.inner.tail.get();
+            let next = (*tail).next.load(Ordering::Acquire);
+            if next.is_null() {
+                return None;
+            }
+            let v = (*next)
+                .val
+                .take()
+                .expect("non-stub node must carry a value");
+            *self.inner.tail.get() = next;
+            drop(Box::from_raw(tail));
+            Some(v)
+        }
+    }
+
+    /// True when no value is currently poppable.
+    pub fn is_empty(&self) -> bool {
+        // SAFETY: same consumer-private cursor access as `pop`.
+        unsafe {
+            let tail = *self.inner.tail.get();
+            (*tail).next.load(Ordering::Acquire).is_null()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn fifo_within_one_thread() {
+        let (mut tx, mut rx) = channel();
+        assert!(rx.is_empty());
+        assert_eq!(rx.pop(), None);
+        for i in 0..100u32 {
+            tx.push(i);
+        }
+        assert!(!rx.is_empty());
+        for i in 0..100u32 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let (mut tx, mut rx) = channel();
+        let mut expect = 0u64;
+        for round in 0..50u64 {
+            for k in 0..round % 7 {
+                tx.push(round * 100 + k);
+            }
+            for k in 0..round % 7 {
+                assert_eq!(rx.pop(), Some(round * 100 + k));
+            }
+            expect += round % 7;
+        }
+        assert!(rx.is_empty());
+        assert!(expect > 0);
+    }
+
+    /// Contention smoke: a producer thread races the consumer over 200k
+    /// values; order and completeness must survive arbitrary interleaving.
+    /// CI runs this under `--test-threads=1` so the two channel threads get
+    /// the scheduler to themselves (closest to a loom-style schedule sweep
+    /// available without a dependency).
+    #[test]
+    fn cross_thread_order_under_contention() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = channel();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..N {
+                    tx.push(i);
+                    if i % 4096 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            let mut next = 0u64;
+            let mut spins = 0u64;
+            while next < N {
+                match rx.pop() {
+                    Some(v) => {
+                        assert_eq!(v, next, "out-of-order delivery");
+                        next += 1;
+                    }
+                    None => {
+                        spins += 1;
+                        if spins.is_multiple_of(1024) {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+            assert_eq!(rx.pop(), None);
+        });
+    }
+
+    /// Dropping the channel with values still queued must free them (their
+    /// destructors run exactly once).
+    #[test]
+    fn drop_frees_unpopped_values() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        let (mut tx, mut rx) = channel();
+        for _ in 0..10 {
+            tx.push(Counted);
+        }
+        drop(rx.pop()); // one popped and dropped by us
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 10);
+    }
+}

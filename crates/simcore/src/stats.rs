@@ -281,9 +281,36 @@ impl OnlineStats {
     }
 }
 
+/// Median of a sample slice (sorts in place; mean of the middle pair for
+/// even counts). Used by the perf harness to compare baseline timings by
+/// median-of-N instead of single noise-prone samples. Returns 0 for an
+/// empty slice.
+pub fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&mut []), 0.0);
+        assert_eq!(median(&mut [3.0]), 3.0);
+        assert_eq!(median(&mut [9.0, 1.0, 5.0]), 5.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+        // Robust to one wild outlier — the point of the perf gate change.
+        assert_eq!(median(&mut [0.1, 0.11, 50.0]), 0.11);
+    }
 
     #[test]
     fn throughput_paper_units() {
