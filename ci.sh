@@ -18,11 +18,14 @@ cargo test --workspace --quiet
 echo "==> SPSC channel smoke (single-threaded runner: producer/consumer get the scheduler)"
 cargo test --quiet -p simcore spsc -- --test-threads=1
 
-echo "==> determinism suite, serial engine (IBWAN_SERIAL=1 pins PartitionMode::Off)"
-IBWAN_SERIAL=1 cargo test --quiet -p bench --test determinism
-
-echo "==> determinism suite, partitioned engine (default mode; A/B tests force both paths)"
+echo "==> determinism suite (engine knobs are RunConfig values; A/B tests force both paths)"
 cargo test --quiet -p bench --test determinism
+
+echo "==> golden gate, partitioned engine (Quick goldens must be bit-identical)"
+cargo run --release -p bench --bin repro -- --check results/quick
+
+echo "==> golden gate, serial engine (same goldens, single-threaded schedule)"
+cargo run --release -p bench --bin repro -- --serial --check results/quick
 
 echo "==> perf smoke (Quick subset + counters, gated against the checked-in baseline)"
 cargo run --release -p bench --bin perf -- --quick --json /tmp/BENCH_smoke.json \

@@ -8,35 +8,99 @@
 //! ibwan-sim --example                              # print a sample scenario
 //! ibwan-sim --json scenario.json                   # emit results as JSON
 //! ibwan-sim --serial scenario.json                 # force the serial engine
-//!                                                  # (results are identical;
-//!                                                  # timing A/B only)
+//! ibwan-sim --no-coalescing scenario.json          # per-fragment wire path
+//! ibwan-sim --seed N scenario.json                 # offset scenario seeds
 //! ```
+//!
+//! All flags are parsed into one [`RunConfig`] before any scenario runs —
+//! flag order never matters, and `--serial`/`--no-coalescing` are plain
+//! config fields (results are identical either way; timing A/B only).
+//! Unknown or duplicate flags exit 2.
 
+use ibwan_core::runner;
 use ibwan_core::scenario::{example_scenario, Scenario};
+use ibwan_core::{PartitionMode, RunConfig};
+
+fn bad_usage(msg: &str) -> ! {
+    eprintln!("ibwan-sim: {msg}");
+    eprintln!(
+        "usage: ibwan-sim [--json] [--sweep] [--serial] [--no-coalescing] [--seed N] SCENARIO.json ..."
+    );
+    eprintln!("       ibwan-sim --example   # print a sample scenario file");
+    std::process::exit(2);
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: ibwan-sim [--json] [--sweep] [--serial] SCENARIO.json ...");
-        eprintln!("       ibwan-sim --example   # print a sample scenario file");
-        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    let mut cfg = RunConfig::default();
+    let mut as_json = false;
+    let mut sweep = false;
+    let mut example = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut seen: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().is_none() {
+        bad_usage("no scenario files given (try --example)");
     }
-    if args.iter().any(|a| a == "--example") {
+    let once = |seen: &mut Vec<String>, flag: &str| {
+        if seen.iter().any(|s| s == flag) {
+            bad_usage(&format!("duplicate flag {flag}"));
+        }
+        seen.push(flag.to_string());
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => {
+                once(&mut seen, "--json");
+                as_json = true;
+            }
+            "--sweep" => {
+                once(&mut seen, "--sweep");
+                sweep = true;
+            }
+            "--serial" => {
+                once(&mut seen, "--serial");
+                cfg.partition = PartitionMode::Off;
+            }
+            "--no-coalescing" => {
+                once(&mut seen, "--no-coalescing");
+                cfg.coalescing = false;
+            }
+            "--seed" => {
+                once(&mut seen, "--seed");
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| bad_usage("--seed needs a number"));
+                cfg.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| bad_usage(&format!("--seed: not a number: {v:?}")));
+            }
+            "--example" => {
+                once(&mut seen, "--example");
+                example = true;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ibwan-sim [--json] [--sweep] [--serial] [--no-coalescing] [--seed N] SCENARIO.json ..."
+                );
+                println!("       ibwan-sim --example   # print a sample scenario file");
+                return;
+            }
+            other if other.starts_with('-') => bad_usage(&format!("unknown flag {other:?}")),
+            other => files.push(other.to_string()),
+        }
+    }
+    let cfg = cfg.with_env_aliases();
+
+    if example {
         println!("{}", example_scenario().to_json());
         return;
     }
-    let as_json = args.iter().any(|a| a == "--json");
-    let sweep = args.iter().any(|a| a == "--sweep");
-    if args.iter().any(|a| a == "--serial") {
-        ibfabric::fabric::set_partition_mode(ibfabric::fabric::PartitionMode::Off);
-    }
-    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if files.is_empty() {
-        eprintln!("no scenario files given (try --example)");
-        std::process::exit(2);
+        bad_usage("no scenario files given (try --example)");
     }
+
     let mut results = Vec::new();
-    for file in files {
+    for file in &files {
         let text =
             std::fs::read_to_string(file).unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
         let scenario =
@@ -55,21 +119,24 @@ fn main() {
             vec![scenario]
         };
         for v in variants {
-            let t0 = std::time::Instant::now();
-            let result = v.run();
-            let wall = t0.elapsed().as_secs_f64();
+            // Same tally capture + provenance stamp as `repro --json`.
+            let (result, prov) = runner::run_scenario(&v, &cfg);
             if as_json {
-                results.push(result);
+                let mut value = result.to_value();
+                if let minijson::Value::Obj(members) = &mut value {
+                    members.push(("provenance".into(), prov.to_value()));
+                }
+                results.push(value);
             } else {
                 println!(
-                    "{:<36} {:>14} = {:>12.2} {:<8} ({wall:.2}s wall)",
-                    result.name, result.metric, result.value, result.unit
+                    "{:<36} {:>14} = {:>12.2} {:<8} ({:.2}s wall)",
+                    result.name, result.metric, result.value, result.unit, prov.wall_secs
                 );
             }
         }
     }
     if as_json {
-        let arr = minijson::Value::Arr(results.iter().map(|r| r.to_value()).collect());
+        let arr = minijson::Value::Arr(results);
         println!("{}", arr.to_pretty());
     }
 }

@@ -16,24 +16,22 @@
 //!   --repeat N       median-of-N timing per experiment (default 3 quick / 1 full)
 //! ```
 //!
-//! Every experiment is timed twice: once on the serial engine
-//! (`PartitionMode::Off`) and once with WAN-boundary partitioning forced
-//! (`PartitionMode::Force`). The serial median is the `secs` field the
-//! baseline gate compares — it isolates single-thread engine regressions
-//! from scheduling noise — while `secs_parallel` and `parallel_speedup`
-//! track what the domain engine buys on this machine (nothing on a 1-core
-//! box, where two domain threads time-share one CPU). Per-experiment domain
-//! stats (`domains`, `sync_rounds`, `events_per_domain`) come from the
-//! process-wide partition tally.
-//!
-//! Each timing also records the fragment-coalescing tally for that
-//! experiment (trains emitted, fragments that rode inside a train, and the
-//! resulting event-reduction ratio), so the coalescing win is tracked per
-//! experiment across PRs.
+//! Every experiment is timed twice through [`ibwan_core::runner::run_one`]:
+//! once on the serial engine (a [`RunConfig`] with `PartitionMode::Off`) and
+//! once with WAN-boundary partitioning forced (`PartitionMode::Force`) — two
+//! config values, no process-global engine state. The serial median is the
+//! `secs` field the baseline gate compares — it isolates single-thread
+//! engine regressions from scheduling noise — while `secs_parallel` and
+//! `parallel_speedup` track what the domain engine buys on this machine
+//! (nothing on a 1-core box, where two domain threads time-share one CPU).
+//! Per-experiment domain stats (`domains`, `sync_rounds`,
+//! `events_per_domain`) and the fragment-coalescing tally (trains emitted,
+//! fragments that rode inside a train, the event-reduction ratio) come from
+//! the provenance each `run_one` captures.
 
 use bench::catalog;
-use ibfabric::fabric::{partition_mode, set_partition_mode, PartitionMode};
-use ibwan_core::Fidelity;
+use ibwan_core::runner::run_one;
+use ibwan_core::{Fidelity, PartitionMode, RunConfig};
 use minijson::{obj, Value};
 use simcore::stats::median;
 
@@ -53,7 +51,7 @@ struct Timing {
     parallel_speedup: f64,
     /// Widest domain split the forced run produced (0 = no plan, ran serial).
     domains: u64,
-    /// Window-synchronization rounds in one forced run.
+    /// Window-synchronization rounds across one forced run.
     sync_rounds: u64,
     /// Events dispatched per domain index in one forced run.
     events_per_domain: Vec<u64>,
@@ -66,6 +64,12 @@ struct Timing {
     coalescing_ratio: f64,
 }
 
+fn bad_usage(msg: &str) -> ! {
+    eprintln!("perf: {msg}");
+    eprintln!("usage: perf [--quick] [--json PATH] [--baseline PATH] [--repeat N]");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut quick_only = false;
     let mut json_path = "BENCH_engine.json".to_string();
@@ -75,21 +79,31 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick_only = true,
-            "--json" => json_path = args.next().expect("--json needs a path"),
-            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
-            "--repeat" => {
-                repeat = Some(
+            "--json" => {
+                json_path = args
+                    .next()
+                    .unwrap_or_else(|| bad_usage("--json needs a path"))
+            }
+            "--baseline" => {
+                baseline_path = Some(
                     args.next()
-                        .expect("--repeat needs a count")
-                        .parse()
-                        .expect("--repeat needs an integer"),
+                        .unwrap_or_else(|| bad_usage("--baseline needs a path")),
                 )
             }
+            "--repeat" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| bad_usage("--repeat needs a count"));
+                repeat = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| bad_usage("--repeat needs an integer")),
+                );
+            }
             "--help" | "-h" => {
-                eprintln!("usage: perf [--quick] [--json PATH] [--baseline PATH] [--repeat N]");
+                println!("usage: perf [--quick] [--json PATH] [--baseline PATH] [--repeat N]");
                 return;
             }
-            other => panic!("unknown argument {other:?} (try --help)"),
+            other => bad_usage(&format!("unknown argument {other:?}")),
         }
     }
 
@@ -110,19 +124,18 @@ fn main() {
         &[Fidelity::Quick, Fidelity::Full]
     };
 
-    // Restore whatever partition mode the process started with (the first
-    // `partition_mode()` call resolves the IBWAN_SERIAL env override), no
-    // matter how we exit the timing loops.
-    struct RestoreMode(PartitionMode);
-    impl Drop for RestoreMode {
-        fn drop(&mut self) {
-            set_partition_mode(self.0);
-        }
-    }
-    let _restore = RestoreMode(partition_mode());
-
     let mut timings = Vec::new();
     for &fidelity in fidelities {
+        let serial_cfg = RunConfig {
+            fidelity,
+            partition: PartitionMode::Off,
+            ..RunConfig::default()
+        };
+        let forced_cfg = RunConfig {
+            fidelity,
+            partition: PartitionMode::Force,
+            ..RunConfig::default()
+        };
         let reps = repeat.unwrap_or(match fidelity {
             Fidelity::Quick => 3,
             Fidelity::Full => 1,
@@ -132,22 +145,14 @@ fn main() {
         // the machine (two domain threads per core on small boxes), so
         // running them earlier would contaminate the serial samples that
         // follow.
-        set_partition_mode(PartitionMode::Off);
         let mut serial_cols = Vec::new();
         for e in &subset {
             let mut serial_samples = Vec::new();
-            let mut tally = (0u64, 0u64, 0u64);
+            let mut tally = ibfabric::fabric::RunTally::default();
             for _ in 0..reps.max(1) {
-                ibfabric::fabric::reset_coalescing_tally();
-                let t0 = std::time::Instant::now();
-                let fig = (e.run)(fidelity);
-                serial_samples.push(t0.elapsed().as_secs_f64());
-                assert!(
-                    fig.series.iter().any(|s| !s.points.is_empty()),
-                    "{} produced an empty figure",
-                    e.id
-                );
-                tally = ibfabric::fabric::coalescing_tally();
+                let out = run_one(e, &serial_cfg);
+                serial_samples.push(out.provenance.wall_secs);
+                tally = out.provenance.tally;
             }
             serial_cols.push((median(&mut serial_samples), tally));
         }
@@ -156,20 +161,12 @@ fn main() {
             // Parallel column: partition wherever a domain plan exists. An
             // experiment with no WAN cut (or a lossy Longbow) still runs
             // serially under Force; its tally then shows 0 domains.
-            set_partition_mode(PartitionMode::Force);
             let mut parallel_samples = Vec::new();
-            let mut parts = ibfabric::fabric::partition_tally();
+            let mut parts = ibfabric::fabric::RunTally::default();
             for _ in 0..reps.max(1) {
-                ibfabric::fabric::reset_partition_tally();
-                let t0 = std::time::Instant::now();
-                let fig = (e.run)(fidelity);
-                parallel_samples.push(t0.elapsed().as_secs_f64());
-                assert!(
-                    fig.series.iter().any(|s| !s.points.is_empty()),
-                    "{} produced an empty figure (parallel)",
-                    e.id
-                );
-                parts = ibfabric::fabric::partition_tally();
+                let out = run_one(e, &forced_cfg);
+                parallel_samples.push(out.provenance.wall_secs);
+                parts = out.provenance.tally;
             }
             let secs_parallel = median(&mut parallel_samples);
             let parallel_speedup = if secs_parallel > 0.0 {
@@ -178,12 +175,9 @@ fn main() {
                 1.0
             };
 
-            let (trains, frags, events) = tally;
-            let ratio = if events + frags > 0 {
-                frags as f64 / (events + frags) as f64
-            } else {
-                0.0
-            };
+            let trains = tally.counters.trains_emitted;
+            let frags = tally.counters.fragments_coalesced;
+            let ratio = tally.coalescing_ratio();
             eprintln!(
                 "{:8} {fidelity:?}: serial {secs:.3}s, parallel {secs_parallel:.3}s \
                  ({parallel_speedup:.2}x, median of {reps}), domains={} \
@@ -212,7 +206,6 @@ fn main() {
     // The counter probe runs serial: merged partitioned counters match
     // except `peak_queue_len`, which is a max over per-domain queues and
     // would drift from the baseline's whole-fabric peak.
-    set_partition_mode(PartitionMode::Off);
     let counters = engine_counters();
     eprintln!(
         "engine counters (8 MiB WAN RC stream): events_processed={} \
@@ -273,13 +266,7 @@ fn main() {
         .map(|t| {
             obj([
                 ("id", Value::from(t.id)),
-                (
-                    "fidelity",
-                    Value::from(match t.fidelity {
-                        Fidelity::Quick => "quick",
-                        Fidelity::Full => "full",
-                    }),
-                ),
+                ("fidelity", Value::from(t.fidelity.name())),
                 ("secs", Value::Num(t.secs)),
                 ("secs_parallel", Value::Num(t.secs_parallel)),
                 ("parallel_speedup", Value::Num(t.parallel_speedup)),
@@ -345,12 +332,8 @@ fn main() {
 
 /// The baseline document's timing (secs) for a given (id, fidelity) pair.
 fn baseline_entry_secs(doc: &Value, id: &str, fidelity: Fidelity) -> Option<f64> {
-    let want = match fidelity {
-        Fidelity::Quick => "quick",
-        Fidelity::Full => "full",
-    };
     for t in doc.get("timings")?.as_array()? {
-        if t.get("id")?.as_str()? == id && t.get("fidelity")?.as_str()? == want {
+        if t.get("id")?.as_str()? == id && t.get("fidelity")?.as_str()? == fidelity.name() {
             return t.get("secs")?.as_f64();
         }
     }
@@ -380,10 +363,15 @@ fn engine_counters() -> simcore::EngineCounters {
     use ibwan_core::topology::wan_node_pair;
     use simcore::Dur;
 
+    let cfg = RunConfig {
+        partition: PartitionMode::Off,
+        ..RunConfig::default()
+    };
     // 8 MiB in 64 KiB messages: enough fragments (~4k) to reach steady
     // state while keeping the probe itself sub-second.
     let msgs = 128;
     let (mut f, a, b) = wan_node_pair(
+        &cfg,
         42,
         Dur::from_us(100),
         Box::new(BwPeer::sender(BwConfig::new(65536, msgs))),

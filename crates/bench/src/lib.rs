@@ -1,200 +1,24 @@
 //! # bench — regeneration harness for every table and figure
 //!
-//! The [`all_figures`] catalog maps each of the paper's tables/figures to
-//! the experiment that regenerates it. The `repro` binary prints them as
-//! aligned text tables (the same rows/series the paper plots); the
-//! Criterion benches under `benches/` time representative configurations
-//! and the ablations called out in `DESIGN.md`.
+//! The experiment catalog lives in [`ibwan_core::registry`] (re-exported
+//! here): every table/figure of the paper mapped to the experiment that
+//! regenerates it, with paper references, sweep axes, and cost estimates.
+//! The `repro` binary runs entries through the unified
+//! [`ibwan_core::runner`]; the Criterion benches under `benches/` time
+//! representative configurations and the ablations called out in
+//! `DESIGN.md`.
 
-use ibwan_core::{ext_exp, ipoib_exp, mpi_exp, nas_exp, nfs_exp, verbs, Fidelity, Figure};
-
-/// A named, regenerable experiment.
-pub struct Experiment {
-    /// Identifier ("table1", "fig5a", ...).
-    pub id: &'static str,
-    /// What the paper shows there.
-    pub description: &'static str,
-    /// Regenerate the figure at the given fidelity.
-    pub run: fn(Fidelity) -> Figure,
-}
-
-/// The full catalog, in paper order: every table and figure of the
-/// evaluation section.
-pub fn catalog() -> Vec<Experiment> {
-    vec![
-        Experiment {
-            id: "table1",
-            description: "Delay overhead corresponding to wire length",
-            run: |_f| verbs::table1(),
-        },
-        Experiment {
-            id: "fig3",
-            description: "Verbs-level latency: UD/RC send, RDMA write, back-to-back",
-            run: verbs::fig3_latency,
-        },
-        Experiment {
-            id: "fig4a",
-            description: "Verbs UD bandwidth vs delay",
-            run: |f| verbs::fig4_ud_bandwidth(false, f),
-        },
-        Experiment {
-            id: "fig4b",
-            description: "Verbs UD bidirectional bandwidth vs delay",
-            run: |f| verbs::fig4_ud_bandwidth(true, f),
-        },
-        Experiment {
-            id: "fig5a",
-            description: "Verbs RC bandwidth vs delay",
-            run: |f| verbs::fig5_rc_bandwidth(false, f),
-        },
-        Experiment {
-            id: "fig5b",
-            description: "Verbs RC bidirectional bandwidth vs delay",
-            run: |f| verbs::fig5_rc_bandwidth(true, f),
-        },
-        Experiment {
-            id: "fig6a",
-            description: "IPoIB-UD single-stream throughput (TCP windows)",
-            run: |f| ipoib_exp::fig6_ipoib_ud(false, f),
-        },
-        Experiment {
-            id: "fig6b",
-            description: "IPoIB-UD parallel-stream throughput",
-            run: |f| ipoib_exp::fig6_ipoib_ud(true, f),
-        },
-        Experiment {
-            id: "fig7a",
-            description: "IPoIB-RC single-stream throughput (MTUs)",
-            run: |f| ipoib_exp::fig7_ipoib_rc(false, f),
-        },
-        Experiment {
-            id: "fig7b",
-            description: "IPoIB-RC parallel-stream throughput",
-            run: |f| ipoib_exp::fig7_ipoib_rc(true, f),
-        },
-        Experiment {
-            id: "fig8a",
-            description: "MPI bandwidth (MVAPICH2 defaults)",
-            run: |f| mpi_exp::fig8_mpi_bandwidth(false, f),
-        },
-        Experiment {
-            id: "fig8b",
-            description: "MPI bidirectional bandwidth",
-            run: |f| mpi_exp::fig8_mpi_bandwidth(true, f),
-        },
-        Experiment {
-            id: "fig9a",
-            description: "MPI bandwidth at 10 ms: rendezvous threshold tuning",
-            run: |f| mpi_exp::fig9_threshold_tuning(false, f),
-        },
-        Experiment {
-            id: "fig9b",
-            description: "MPI bidir bandwidth at 10 ms: threshold tuning",
-            run: |f| mpi_exp::fig9_threshold_tuning(true, f),
-        },
-        Experiment {
-            id: "fig10a",
-            description: "Multi-pair message rate, 10 us delay",
-            run: |f| mpi_exp::fig10_message_rate(10, f),
-        },
-        Experiment {
-            id: "fig10b",
-            description: "Multi-pair message rate, 1 ms delay",
-            run: |f| mpi_exp::fig10_message_rate(1000, f),
-        },
-        Experiment {
-            id: "fig10c",
-            description: "Multi-pair message rate, 10 ms delay",
-            run: |f| mpi_exp::fig10_message_rate(10000, f),
-        },
-        Experiment {
-            id: "fig11a",
-            description: "Bcast latency, 10 us delay: original vs hierarchical",
-            run: |f| mpi_exp::fig11_bcast(10, f),
-        },
-        Experiment {
-            id: "fig11b",
-            description: "Bcast latency, 100 us delay: original vs hierarchical",
-            run: |f| mpi_exp::fig11_bcast(100, f),
-        },
-        Experiment {
-            id: "fig11c",
-            description: "Bcast latency, 1 ms delay: original vs hierarchical",
-            run: |f| mpi_exp::fig11_bcast(1000, f),
-        },
-        Experiment {
-            id: "fig12",
-            description: "NAS IS/FT/CG class B vs delay",
-            run: nas_exp::fig12_nas,
-        },
-        Experiment {
-            id: "fig13a",
-            description: "NFS/RDMA read throughput: LAN and WAN delays",
-            run: nfs_exp::fig13a_nfs_rdma,
-        },
-        Experiment {
-            id: "fig13b",
-            description: "NFS transports at 100 us delay",
-            run: |f| nfs_exp::fig13_transport_comparison(100, f),
-        },
-        Experiment {
-            id: "fig13c",
-            description: "NFS transports at 1000 us delay",
-            run: |f| nfs_exp::fig13_transport_comparison(1000, f),
-        },
-        // --- extensions beyond the paper's plots ---
-        Experiment {
-            id: "extA",
-            description: "NFS write throughput (paper omitted its numbers)",
-            run: ext_exp::ext_nfs_write,
-        },
-        Experiment {
-            id: "extB",
-            description: "Rendezvous protocol comparison (RPUT/RGET/R3) on the WAN",
-            run: ext_exp::ext_rndv_protocols,
-        },
-        Experiment {
-            id: "extC",
-            description: "Flat vs hierarchical allreduce (paper future work)",
-            run: ext_exp::ext_hierarchical_allreduce,
-        },
-        Experiment {
-            id: "extD",
-            description: "Longbow buffer depth: link-credit BDP wall on the WAN",
-            run: ext_exp::ext_longbow_credits,
-        },
-        Experiment {
-            id: "extE",
-            description: "SDP vs IPoIB sockets throughput (related-work comparison)",
-            run: ext_exp::ext_sdp_vs_ipoib,
-        },
-        Experiment {
-            id: "extF",
-            description: "Parallel-filesystem striping over the WAN (future work)",
-            run: ext_exp::ext_pfs_striping,
-        },
-    ]
-}
-
-/// Regenerate every table and figure.
-pub fn all_figures(fidelity: Fidelity) -> Vec<Figure> {
-    catalog().into_iter().map(|e| (e.run)(fidelity)).collect()
-}
+pub use ibwan_core::registry::{all_figures, catalog, find, Experiment};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn catalog_covers_every_table_and_figure() {
-        let ids: Vec<&str> = catalog().iter().map(|e| e.id).collect();
-        for required in [
-            "table1", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a",
-            "fig7b", "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig10c", "fig11a",
-            "fig11b", "fig11c", "fig12", "fig13a", "fig13b", "fig13c",
-        ] {
-            assert!(ids.contains(&required), "missing {required}");
-        }
-        assert_eq!(ids.len(), 30, "24 paper experiments + 6 extensions");
+    fn reexported_catalog_is_the_registry() {
+        // The bench-facing names must stay wired to the core registry: the
+        // binaries and benches select by id through this crate.
+        assert_eq!(catalog().len(), 30);
+        assert!(find("fig5a").is_some());
     }
 }

@@ -1,61 +1,30 @@
 //! Golden determinism tests: the simulation must be bit-reproducible.
 //!
-//! Running the same experiment twice with the same seed must produce
+//! Running the same experiment twice with the same config must produce
 //! byte-identical tables/JSON **and** dispatch exactly the same number of
 //! engine events. This pins the engine's `(time, seq)` ordering contract and
 //! the event-pool refactor: any hidden nondeterminism (hash-map iteration,
 //! pointer-keyed ordering, pool-dependent dispatch order) breaks these tests.
+//!
+//! Engine knobs are plain [`RunConfig`] values now — each A/B leg builds its
+//! own config, so there are no process-wide flags to serialize on and the
+//! legs cannot leak state into each other or into concurrent tests.
 
-use bench::catalog;
-use ibfabric::fabric::{partition_mode, set_default_coalescing, set_partition_mode, PartitionMode};
+use bench::find;
 use ibfabric::perftest::{rc_qp_pair, BwConfig, BwPeer};
 use ibfabric::qp::QpConfig;
 use ibwan_core::topology::wan_node_pair;
-use ibwan_core::Fidelity;
+use ibwan_core::{PartitionMode, RunConfig};
+
 use simcore::Dur;
-use std::sync::{Mutex, MutexGuard};
-
-/// Tests in this binary run concurrently but the coalescing default is a
-/// process-wide flag, so every test that reads or writes it serializes here.
-/// A poisoned lock just means another test's assertion fired — the flag
-/// state is still usable, so recover the guard.
-static COALESCING_FLAG: Mutex<()> = Mutex::new(());
-
-fn flag_lock() -> MutexGuard<'static, ()> {
-    COALESCING_FLAG.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-/// Set the process-wide partition mode, restoring the previous mode on drop
-/// — panic-safe, so a failing assertion cannot leak `Force` into the tests
-/// that run after it.
-struct ModeGuard(PartitionMode);
-
-impl ModeGuard {
-    fn set(mode: PartitionMode) -> Self {
-        let prev = partition_mode();
-        set_partition_mode(mode);
-        ModeGuard(prev)
-    }
-}
-
-impl Drop for ModeGuard {
-    fn drop(&mut self) {
-        set_partition_mode(self.0);
-    }
-}
 
 /// Run a catalog experiment twice at Quick fidelity and demand bit-identical
 /// output.
 fn assert_golden(id: &str) {
-    let _flag = flag_lock();
-    set_default_coalescing(true);
-    let experiments = catalog();
-    let e = experiments
-        .iter()
-        .find(|e| e.id == id)
-        .unwrap_or_else(|| panic!("experiment {id} missing from catalog"));
-    let first = (e.run)(Fidelity::Quick);
-    let second = (e.run)(Fidelity::Quick);
+    let cfg = RunConfig::default();
+    let e = find(id).unwrap_or_else(|| panic!("experiment {id} missing from catalog"));
+    let first = (e.run)(&cfg);
+    let second = (e.run)(&cfg);
     assert_eq!(
         first.to_table(),
         second.to_table(),
@@ -72,17 +41,12 @@ fn assert_golden(id: &str) {
 /// bit-identical output: trains are a pure event-count optimization, so
 /// every table cell and JSON byte must survive the A/B flip.
 fn assert_coalescing_invisible(id: &str) {
-    let _flag = flag_lock();
-    let experiments = catalog();
-    let e = experiments
-        .iter()
-        .find(|e| e.id == id)
-        .unwrap_or_else(|| panic!("experiment {id} missing from catalog"));
-    set_default_coalescing(true);
-    let coalesced = (e.run)(Fidelity::Quick);
-    set_default_coalescing(false);
-    let per_fragment = (e.run)(Fidelity::Quick);
-    set_default_coalescing(true);
+    let e = find(id).unwrap_or_else(|| panic!("experiment {id} missing from catalog"));
+    let coalesced = (e.run)(&RunConfig::default());
+    let per_fragment = (e.run)(&RunConfig {
+        coalescing: false,
+        ..RunConfig::default()
+    });
     assert_eq!(
         coalesced.to_table(),
         per_fragment.to_table(),
@@ -100,21 +64,15 @@ fn assert_coalescing_invisible(id: &str) {
 /// pure wall-clock optimization, so every table cell and JSON byte must
 /// survive the A/B flip — the same contract coalescing holds to.
 fn assert_partitioning_invisible(id: &str) {
-    let _flag = flag_lock();
-    set_default_coalescing(true);
-    let experiments = catalog();
-    let e = experiments
-        .iter()
-        .find(|e| e.id == id)
-        .unwrap_or_else(|| panic!("experiment {id} missing from catalog"));
-    let serial = {
-        let _mode = ModeGuard::set(PartitionMode::Off);
-        (e.run)(Fidelity::Quick)
-    };
-    let partitioned = {
-        let _mode = ModeGuard::set(PartitionMode::Force);
-        (e.run)(Fidelity::Quick)
-    };
+    let e = find(id).unwrap_or_else(|| panic!("experiment {id} missing from catalog"));
+    let serial = (e.run)(&RunConfig {
+        partition: PartitionMode::Off,
+        ..RunConfig::default()
+    });
+    let partitioned = (e.run)(&RunConfig {
+        partition: PartitionMode::Force,
+        ..RunConfig::default()
+    });
     assert_eq!(
         serial.to_table(),
         partitioned.to_table(),
@@ -167,6 +125,34 @@ fn nfs_figure_is_identical_serial_and_partitioned() {
     assert_partitioning_invisible("fig13a");
 }
 
+/// The seed offset must shift the whole run onto a different deterministic
+/// trajectory — and back: offset 0 is the identity.
+#[test]
+fn seed_offset_is_deterministic_and_zero_is_identity() {
+    let e = find("fig5a").expect("fig5a missing from catalog");
+    let base = (e.run)(&RunConfig::default());
+    let zero = (e.run)(&RunConfig {
+        seed: 0,
+        ..RunConfig::default()
+    });
+    assert_eq!(
+        base.to_json(),
+        zero.to_json(),
+        "seed 0 must be the identity"
+    );
+    let shifted_cfg = RunConfig {
+        seed: 7,
+        ..RunConfig::default()
+    };
+    let shifted_a = (e.run)(&shifted_cfg);
+    let shifted_b = (e.run)(&shifted_cfg);
+    assert_eq!(
+        shifted_a.to_json(),
+        shifted_b.to_json(),
+        "a shifted seed must still be deterministic"
+    );
+}
+
 /// Determinism must come from the window protocol, not from lucky thread
 /// scheduling: stagger each domain thread's start by increasingly hostile
 /// offsets and demand the bit-identical figure every time.
@@ -183,20 +169,17 @@ fn partitioned_schedule_survives_thread_start_jitter() {
         }
     }
 
-    let _flag = flag_lock();
-    set_default_coalescing(true);
-    let _mode = ModeGuard::set(PartitionMode::Force);
+    let cfg = RunConfig {
+        partition: PartitionMode::Force,
+        ..RunConfig::default()
+    };
     let _jitter = JitterGuard;
-    let experiments = catalog();
-    let e = experiments
-        .iter()
-        .find(|e| e.id == "fig5a")
-        .expect("fig5a missing from catalog");
+    let e = find("fig5a").expect("fig5a missing from catalog");
     set_test_start_jitter_us(0);
-    let baseline = (e.run)(Fidelity::Quick);
+    let baseline = (e.run)(&cfg);
     for us in [50, 500, 1500, 4000] {
         set_test_start_jitter_us(us);
-        let jittered = (e.run)(Fidelity::Quick);
+        let jittered = (e.run)(&cfg);
         assert_eq!(
             baseline.to_json(),
             jittered.to_json(),
@@ -210,8 +193,6 @@ fn partitioned_schedule_survives_thread_start_jitter() {
 /// schedule, not merely converge to the same figures.
 #[test]
 fn fabric_reports_and_event_counts_are_identical() {
-    let _flag = flag_lock();
-    set_default_coalescing(true);
     let first = wan_stream_report(64);
     let second = wan_stream_report(64);
     assert_eq!(first, second, "fabric reports diverged across runs");
@@ -232,8 +213,6 @@ fn fabric_reports_and_event_counts_are_identical() {
 /// ACK window. The bulk of hop events must ride inside trains.
 #[test]
 fn wan_rc_stream_coalesces_most_fragments() {
-    let _flag = flag_lock();
-    set_default_coalescing(true);
     let report = wan_stream_report(128);
     let c = &report.engine_counters;
     assert!(
@@ -251,6 +230,7 @@ fn wan_rc_stream_coalesces_most_fragments() {
 /// One WAN RC stream of `msgs` 64 KiB messages over a 100 µs link.
 fn wan_stream_report(msgs: u64) -> ibfabric::fabric::FabricReport {
     let (mut f, a, b) = wan_node_pair(
+        &RunConfig::default(),
         42,
         Dur::from_us(100),
         Box::new(BwPeer::sender(BwConfig::new(65536, msgs))),

@@ -138,18 +138,19 @@ mod tests {
     fn nfs_crossover_from_real_figure() {
         // End-to-end: the Figure 13 RDMA-vs-IPoIB-RC crossover lands
         // between 100 us and 1000 us, as the paper reports.
-        use crate::Fidelity;
+        use crate::config::RunConfig;
+        let cfg = RunConfig::default();
         let rdma_pts: Vec<(f64, f64)> = [100u64, 1000]
             .iter()
             .map(|&d| {
-                let f = crate::nfs_exp::fig13_transport_comparison(d, Fidelity::Quick);
+                let f = crate::nfs_exp::fig13_transport_comparison(&cfg, d);
                 (d as f64, f.series("RDMA").unwrap().y_at(8.0).unwrap())
             })
             .collect();
         let rc_pts: Vec<(f64, f64)> = [100u64, 1000]
             .iter()
             .map(|&d| {
-                let f = crate::nfs_exp::fig13_transport_comparison(d, Fidelity::Quick);
+                let f = crate::nfs_exp::fig13_transport_comparison(&cfg, d);
                 (d as f64, f.series("IPoIB-RC").unwrap().y_at(8.0).unwrap())
             })
             .collect();

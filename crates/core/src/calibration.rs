@@ -2,8 +2,8 @@
 //! the paper's prose numbers, by measurement. Run it after touching any
 //! timing constant; `examples/` and CI tests call it too.
 
+use crate::config::RunConfig;
 use crate::topology::{lan_node_pair, wan_node_pair};
-use crate::Fidelity;
 use ibfabric::perftest::{rc_qp_pair, ud_qp_pair, BwConfig, BwPeer, LatMode, PingPong};
 use ibfabric::qp::QpConfig;
 use mpisim::bench::{osu_bw, wan_pair};
@@ -46,8 +46,9 @@ impl Check {
     }
 }
 
-fn verbs_bw(ud: bool, size: u32, iters: u64) -> f64 {
+fn verbs_bw(cfg: &RunConfig, ud: bool, size: u32, iters: u64) -> f64 {
     let (mut f, a, b) = wan_node_pair(
+        cfg,
         61,
         Dur::ZERO,
         Box::new(BwPeer::sender(BwConfig::new(size, iters))),
@@ -72,12 +73,12 @@ fn verbs_bw(ud: bool, size: u32, iters: u64) -> f64 {
     }
 }
 
-fn send_latency(through_wan: bool, iters: u32) -> f64 {
+fn send_latency(cfg: &RunConfig, through_wan: bool, iters: u32) -> f64 {
     let mk = |init| Box::new(PingPong::new(LatMode::SendRc, init, 4, iters));
     let (mut f, a, b) = if through_wan {
-        wan_node_pair(62, Dur::ZERO, mk(true), mk(false))
+        wan_node_pair(cfg, 62, Dur::ZERO, mk(true), mk(false))
     } else {
-        lan_node_pair(62, mk(true), mk(false))
+        lan_node_pair(cfg, 62, mk(true), mk(false))
     };
     let (qa, qb) = rc_qp_pair(&mut f, a, b, QpConfig::rc());
     f.hca_mut(a).ulp_mut::<PingPong>().qpn = qa;
@@ -87,28 +88,29 @@ fn send_latency(through_wan: bool, iters: u32) -> f64 {
 }
 
 /// Run every calibration check.
-pub fn run_calibration(fidelity: Fidelity) -> Vec<Check> {
+pub fn run_calibration(cfg: &RunConfig) -> Vec<Check> {
+    let fidelity = cfg.fidelity;
     let iters = fidelity.iters(1000, 5000);
     vec![
         Check {
             name: "verbs UD peak @2KB over WAN".into(),
             paper: 967.0,
-            measured: verbs_bw(true, 2048, iters),
+            measured: verbs_bw(cfg, true, 2048, iters),
             tolerance: 0.02,
             unit: "MB/s".into(),
         },
         Check {
             name: "verbs RC peak over WAN".into(),
             paper: 980.0,
-            measured: verbs_bw(false, 65536, iters.min(1500)),
+            measured: verbs_bw(cfg, false, 65536, iters.min(1500)),
             tolerance: 0.02,
             unit: "MB/s".into(),
         },
         Check {
             name: "Longbow pair added latency".into(),
             paper: 5.0,
-            measured: send_latency(true, fidelity.iters(50, 300) as u32)
-                - send_latency(false, fidelity.iters(50, 300) as u32),
+            measured: send_latency(cfg, true, fidelity.iters(50, 300) as u32)
+                - send_latency(cfg, false, fidelity.iters(50, 300) as u32),
             tolerance: 0.40,
             unit: "us".into(),
         },
@@ -123,7 +125,11 @@ pub fn run_calibration(fidelity: Fidelity) -> Vec<Check> {
             name: "MPI peak bandwidth".into(),
             paper: 969.0,
             measured: osu_bw(
-                wan_pair(Dur::ZERO),
+                {
+                    let spec = wan_pair(Dur::ZERO);
+                    spec.with_profile(cfg.engine())
+                        .with_seed(cfg.seed_for(spec.seed))
+                },
                 1 << 20,
                 8,
                 fidelity.iters(4, 12) as u32,
@@ -149,7 +155,7 @@ mod tests {
 
     #[test]
     fn all_calibration_checks_pass() {
-        let checks = run_calibration(Fidelity::Quick);
+        let checks = run_calibration(&RunConfig::default());
         for c in &checks {
             assert!(c.ok(), "calibration drifted: {}", c.render());
         }

@@ -8,6 +8,7 @@
 //! * **Hierarchical allreduce** — the paper's stated future work on
 //!   WAN-aware collectives, applied to the reduction that dominates CG.
 
+use crate::config::RunConfig;
 use crate::results::{Figure, Series};
 use crate::sweep::parallel_map;
 use crate::{Fidelity, PAPER_DELAYS_US};
@@ -27,7 +28,7 @@ use simcore::Dur;
 
 /// Extension A: NFS *write* throughput for the three transports vs delay
 /// (8 client threads).
-pub fn ext_nfs_write(fidelity: Fidelity) -> Figure {
+pub fn ext_nfs_write(cfg: &RunConfig) -> Figure {
     let mut fig = Figure::new(
         "extA-nfs-write",
         "NFS write throughput (8 threads) — paper omitted these numbers",
@@ -39,12 +40,14 @@ pub fn ext_nfs_write(fidelity: Fidelity) -> Figure {
         .iter()
         .flat_map(|&t| PAPER_DELAYS_US.iter().map(move |&d| (t, d)))
         .collect();
-    let res = parallel_map(pts, |(t, d)| {
+    let res = parallel_map(cfg, pts, |(t, d)| {
         let mut s = NfsSetup::scaled(t, 8, Some(Dur::from_us(d)));
         s.write = true;
-        if fidelity == Fidelity::Quick {
+        if cfg.fidelity == Fidelity::Quick {
             s.file_size = 16 << 20;
         }
+        s.profile = cfg.engine();
+        s.seed = cfg.seed_for(s.seed);
         (t, d, run_read_experiment(s).mbs)
     });
     for &t in &transports {
@@ -61,7 +64,7 @@ pub fn ext_nfs_write(fidelity: Fidelity) -> Figure {
 
 /// Extension B: large-message MPI bandwidth for the three rendezvous
 /// protocols vs delay.
-pub fn ext_rndv_protocols(fidelity: Fidelity) -> Figure {
+pub fn ext_rndv_protocols(run: &RunConfig) -> Figure {
     let mut fig = Figure::new(
         "extB-rndv",
         "MPI 256 KB bandwidth: RPUT vs RGET vs R3 rendezvous",
@@ -77,17 +80,17 @@ pub fn ext_rndv_protocols(fidelity: Fidelity) -> Figure {
         .iter()
         .flat_map(|&(l, p)| PAPER_DELAYS_US.iter().map(move |&d| (l, p, d)))
         .collect();
-    let res = parallel_map(pts, |(l, p, d)| {
+    let res = parallel_map(run, pts, |(l, p, d)| {
         let cfg = MpiConfig {
             rndv_protocol: p,
             ..MpiConfig::default()
         };
-        let iters = fidelity.iters(3, 10) as u32;
-        (
-            l,
-            d,
-            osu_bw(wan_pair_with(Dur::from_us(d), cfg), 262_144, 16, iters),
-        )
+        let iters = run.fidelity.iters(3, 10) as u32;
+        let spec = wan_pair_with(Dur::from_us(d), cfg);
+        let spec = spec
+            .with_profile(run.engine())
+            .with_seed(run.seed_for(spec.seed));
+        (l, d, osu_bw(spec, 262_144, 16, iters))
     });
     for &(label, _) in &protocols {
         let mut series = Series::new(label);
@@ -103,8 +106,8 @@ pub fn ext_rndv_protocols(fidelity: Fidelity) -> Figure {
 
 /// Extension C: flat vs hierarchical allreduce latency at 256 KB (the
 /// CG-style reduction), 16+16 ranks.
-pub fn ext_hierarchical_allreduce(fidelity: Fidelity) -> Figure {
-    let per_cluster = match fidelity {
+pub fn ext_hierarchical_allreduce(cfg: &RunConfig) -> Figure {
+    let per_cluster = match cfg.fidelity {
         Fidelity::Quick => 8,
         Fidelity::Full => 16,
     };
@@ -121,9 +124,12 @@ pub fn ext_hierarchical_allreduce(fidelity: Fidelity) -> Figure {
         .iter()
         .flat_map(|&h| PAPER_DELAYS_US.iter().map(move |&d| (h, d)))
         .collect();
-    let res = parallel_map(pts, |(hier, d)| {
+    let res = parallel_map(cfg, pts, |(hier, d)| {
         let spec = JobSpec::two_clusters(per_cluster, per_cluster, Dur::from_us(d));
-        let iters = fidelity.iters(2, 5) as u32;
+        let spec = spec
+            .with_profile(cfg.engine())
+            .with_seed(cfg.seed_for(spec.seed));
+        let iters = cfg.fidelity.iters(2, 5) as u32;
         (hier, d, allreduce_latency(spec, 262_144, iters, hier))
     });
     for (hier, label) in [(false, "flat"), (true, "hierarchical")] {
@@ -140,8 +146,8 @@ pub fn ext_hierarchical_allreduce(fidelity: Fidelity) -> Figure {
 
 /// UD streaming bandwidth across the WAN with the given Longbow buffer
 /// depth (`None` = deep buffers, the shipped configuration).
-fn ud_bw_with_credits(delay: Dur, credits: Option<usize>, iters: u64) -> f64 {
-    let mut builder = FabricBuilder::new(53);
+fn ud_bw_with_credits(cfg: &RunConfig, delay: Dur, credits: Option<usize>, iters: u64) -> f64 {
+    let mut builder = FabricBuilder::with_profile(cfg.seed_for(53), cfg.engine());
     let n1 = builder.add_hca(
         HcaConfig::default(),
         Box::new(BwPeer::sender(BwConfig::new(2048, iters))),
@@ -177,7 +183,7 @@ fn ud_bw_with_credits(delay: Dur, credits: Option<usize>, iters: u64) -> f64 {
 /// credit loop spans the full RTT, so sustainable bandwidth is
 /// `credits × packet / RTT` until the buffers cover the bandwidth-delay
 /// product.
-pub fn ext_longbow_credits(fidelity: Fidelity) -> Figure {
+pub fn ext_longbow_credits(cfg: &RunConfig) -> Figure {
     let mut fig = Figure::new(
         "extD-credits",
         "UD 2 KB streaming vs Longbow buffer depth (link-level credits)",
@@ -190,13 +196,13 @@ pub fn ext_longbow_credits(fidelity: Fidelity) -> Figure {
         ("4096-credits", Some(4096)),
         ("deep-buffers", None),
     ];
-    let iters = fidelity.iters(2000, 10000);
+    let iters = cfg.fidelity.iters(2000, 10000);
     let pts: Vec<(&str, Option<usize>, u64)> = configs
         .iter()
         .flat_map(|&(l, c)| PAPER_DELAYS_US.iter().map(move |&d| (l, c, d)))
         .collect();
-    let res = parallel_map(pts, |(l, c, d)| {
-        (l, d, ud_bw_with_credits(Dur::from_us(d), c, iters))
+    let res = parallel_map(cfg, pts, |(l, c, d)| {
+        (l, d, ud_bw_with_credits(cfg, Dur::from_us(d), c, iters))
     });
     for &(label, _) in &configs {
         let mut series = Series::new(label);
@@ -210,8 +216,8 @@ pub fn ext_longbow_credits(fidelity: Fidelity) -> Figure {
     fig
 }
 
-fn sdp_stream_bw(delay: Dur, msg_size: u32, count: u64) -> f64 {
-    let mut builder = FabricBuilder::new(59);
+fn sdp_stream_bw(cfg: &RunConfig, delay: Dur, msg_size: u32, count: u64) -> f64 {
+    let mut builder = FabricBuilder::with_profile(cfg.seed_for(59), cfg.engine());
     let a = builder.add_hca(
         HcaConfig::default(),
         Box::new(SdpNode::sender(SdpConfig::default(), msg_size, count)),
@@ -235,7 +241,7 @@ fn sdp_stream_bw(delay: Dur, msg_size: u32, count: u64) -> f64 {
 
 /// Extension E: sockets over the WAN — SDP (BCopy and ZCopy paths) versus
 /// IPoIB+TCP, the comparison the paper's reference \[19\] ran with TTCP.
-pub fn ext_sdp_vs_ipoib(fidelity: Fidelity) -> Figure {
+pub fn ext_sdp_vs_ipoib(cfg: &RunConfig) -> Figure {
     use crate::ipoib_exp::run_ipoib_point;
     use ipoib::node::IpoibConfig;
 
@@ -245,27 +251,21 @@ pub fn ext_sdp_vs_ipoib(fidelity: Fidelity) -> Figure {
         "delay_us",
         "MB/s",
     );
-    let count = fidelity.iters(200, 1200);
-    let zcount = fidelity.iters(24, 96);
+    let count = cfg.fidelity.iters(200, 1200);
+    let zcount = cfg.fidelity.iters(24, 96);
     let pts: Vec<(&str, u64)> = ["SDP-bcopy-32K", "SDP-zcopy-1M", "IPoIB-UD", "IPoIB-RC"]
         .iter()
         .flat_map(|&l| PAPER_DELAYS_US.iter().map(move |&d| (l, d)))
         .collect();
-    let res = parallel_map(pts, |(l, d)| {
+    let res = parallel_map(cfg, pts, |(l, d)| {
         let delay = Dur::from_us(d);
         let bw = match l {
-            "SDP-bcopy-32K" => sdp_stream_bw(delay, 32768, count),
-            "SDP-zcopy-1M" => sdp_stream_bw(delay, 1 << 20, zcount),
-            "IPoIB-UD" => {
-                run_ipoib_point(IpoibConfig::ud(), tcpstack::DEFAULT_WINDOW, 1, d, fidelity)
+            "SDP-bcopy-32K" => sdp_stream_bw(cfg, delay, 32768, count),
+            "SDP-zcopy-1M" => sdp_stream_bw(cfg, delay, 1 << 20, zcount),
+            "IPoIB-UD" => run_ipoib_point(cfg, IpoibConfig::ud(), tcpstack::DEFAULT_WINDOW, 1, d),
+            "IPoIB-RC" => {
+                run_ipoib_point(cfg, IpoibConfig::rc(65536), tcpstack::DEFAULT_WINDOW, 1, d)
             }
-            "IPoIB-RC" => run_ipoib_point(
-                IpoibConfig::rc(65536),
-                tcpstack::DEFAULT_WINDOW,
-                1,
-                d,
-                fidelity,
-            ),
             _ => unreachable!(),
         };
         (l, d, bw)
@@ -286,7 +286,7 @@ pub fn ext_sdp_vs_ipoib(fidelity: Fidelity) -> Figure {
 /// future-work context; its related work \[6\] ran Lustre over IB WAN).
 /// Striping across OSSes is the filesystem-level parallel-streams
 /// optimization: each stripe target contributes an independent RC window.
-pub fn ext_pfs_striping(fidelity: Fidelity) -> Figure {
+pub fn ext_pfs_striping(cfg: &RunConfig) -> Figure {
     let mut fig = Figure::new(
         "extF-pfs",
         "Parallel-filesystem striped read throughput vs delay",
@@ -298,12 +298,14 @@ pub fn ext_pfs_striping(fidelity: Fidelity) -> Figure {
         .iter()
         .flat_map(|&n| PAPER_DELAYS_US.iter().map(move |&d| (n, d)))
         .collect();
-    let res = parallel_map(pts, |(n, d)| {
+    let res = parallel_map(cfg, pts, |(n, d)| {
         let mut s = PfsSetup::quick(n, Some(Dur::from_us(d)));
-        s.file_size = match fidelity {
+        s.file_size = match cfg.fidelity {
             Fidelity::Quick => 32 << 20,
             Fidelity::Full => 128 << 20,
         };
+        s.profile = cfg.engine();
+        s.seed = cfg.seed_for(s.seed);
         (n, d, run_striped_read(s).mbs)
     });
     for &n in &stripe_counts {
@@ -324,7 +326,7 @@ mod tests {
 
     #[test]
     fn nfs_write_shape() {
-        let f = ext_nfs_write(Fidelity::Quick);
+        let f = ext_nfs_write(&RunConfig::default());
         // Writes complete on every transport, and RDMA writes collapse at
         // high delay like reads do (read credits are even scarcer).
         for s in &f.series {
@@ -336,7 +338,7 @@ mod tests {
 
     #[test]
     fn rndv_protocol_ordering_at_high_delay() {
-        let f = ext_rndv_protocols(Fidelity::Quick);
+        let f = ext_rndv_protocols(&RunConfig::default());
         let rput = f.series("RPUT").unwrap().y_at(10000.0).unwrap();
         let rget = f.series("RGET").unwrap().y_at(10000.0).unwrap();
         assert!(rput > rget, "RPUT {rput} vs credit-bound RGET {rget}");
@@ -344,7 +346,7 @@ mod tests {
 
     #[test]
     fn credit_figure_shows_bdp_wall() {
-        let f = ext_longbow_credits(Fidelity::Quick);
+        let f = ext_longbow_credits(&RunConfig::default());
         let deep = f.series("deep-buffers").unwrap();
         let shallow = f.series("16-credits").unwrap();
         // Deep buffers: delay-invariant UD. Shallow: collapses with delay.
@@ -355,7 +357,7 @@ mod tests {
 
     #[test]
     fn sdp_figure_shapes() {
-        let f = ext_sdp_vs_ipoib(Fidelity::Quick);
+        let f = ext_sdp_vs_ipoib(&RunConfig::default());
         // On the LAN, SDP (no TCP stack) beats IPoIB-UD's host ceiling.
         let sdp0 = f.series("SDP-zcopy-1M").unwrap().y_at(0.0).unwrap();
         let ud0 = f.series("IPoIB-UD").unwrap().y_at(0.0).unwrap();
@@ -368,7 +370,7 @@ mod tests {
 
     #[test]
     fn pfs_striping_figure_shape() {
-        let f = ext_pfs_striping(Fidelity::Quick);
+        let f = ext_pfs_striping(&RunConfig::default());
         let one = f.series("1-oss").unwrap();
         let eight = f.series("8-oss").unwrap();
         // On the LAN both saturate; at 10 ms striping dominates.
@@ -380,7 +382,7 @@ mod tests {
 
     #[test]
     fn hierarchical_allreduce_wins_at_delay() {
-        let f = ext_hierarchical_allreduce(Fidelity::Quick);
+        let f = ext_hierarchical_allreduce(&RunConfig::default());
         let flat = f.series("flat").unwrap().y_at(1000.0).unwrap();
         let hier = f.series("hierarchical").unwrap().y_at(1000.0).unwrap();
         assert!(hier < flat, "hier {hier} vs flat {flat} at 1 ms");

@@ -1,9 +1,10 @@
 //! IPoIB/TCP experiments: Figures 6 and 7.
 
+use crate::config::RunConfig;
 use crate::results::{Figure, Series};
 use crate::sweep::parallel_map;
 use crate::topology::wan_node_pair;
-use crate::{Fidelity, PAPER_DELAYS_US};
+use crate::PAPER_DELAYS_US;
 use ipoib::node::{IpoibConfig, IpoibMode, IpoibNode};
 use simcore::Dur;
 use tcpstack::TcpConfig;
@@ -33,19 +34,19 @@ fn warm_tcp(mtu: u32, window: u64) -> TcpConfig {
 
 /// Run one IPoIB throughput point; returns receive-side MB/s.
 pub fn run_ipoib_point(
+    run: &RunConfig,
     cfg: IpoibConfig,
     window: u64,
     streams: usize,
     delay_us: u64,
-    fidelity: Fidelity,
 ) -> f64 {
     let tcp = warm_tcp(cfg.mtu, window);
     // Enough bytes per stream to reach steady state even when the window
     // throttles hard at 10 ms.
-    let budget = fidelity.iters(6 << 20, 48 << 20).max(window * 8);
+    let budget = run.fidelity.iters(6 << 20, 48 << 20).max(window * 8);
     let tx = Box::new(IpoibNode::sender(cfg, tcp, streams, budget));
     let rx = Box::new(IpoibNode::receiver(cfg, tcp, streams, budget));
-    let (mut f, a, b) = wan_node_pair(41, Dur::from_us(delay_us), tx, rx);
+    let (mut f, a, b) = wan_node_pair(run, 41, Dur::from_us(delay_us), tx, rx);
     let qa = f.hca_mut(a).core_mut().create_qp(cfg.qp_config());
     let qb = f.hca_mut(b).core_mut().create_qp(cfg.qp_config());
     if cfg.mode == IpoibMode::Rc {
@@ -69,7 +70,7 @@ pub fn run_ipoib_point(
 /// Figure 6(a): IPoIB-UD single-stream throughput vs WAN delay, one series
 /// per TCP window size. Figure 6(b): parallel streams with the default
 /// window.
-pub fn fig6_ipoib_ud(parallel: bool, fidelity: Fidelity) -> Figure {
+pub fn fig6_ipoib_ud(run: &RunConfig, parallel: bool) -> Figure {
     let cfg = IpoibConfig::ud();
     if parallel {
         let mut fig = Figure::new(
@@ -82,11 +83,11 @@ pub fn fig6_ipoib_ud(parallel: bool, fidelity: Fidelity) -> Figure {
             .iter()
             .flat_map(|&n| PAPER_DELAYS_US.iter().map(move |&d| (n, d)))
             .collect();
-        let res = parallel_map(pts, |(n, d)| {
+        let res = parallel_map(run, pts, |(n, d)| {
             (
                 n,
                 d,
-                run_ipoib_point(cfg, tcpstack::DEFAULT_WINDOW, n, d, fidelity),
+                run_ipoib_point(run, cfg, tcpstack::DEFAULT_WINDOW, n, d),
             )
         });
         for &n in &STREAMS {
@@ -110,8 +111,8 @@ pub fn fig6_ipoib_ud(parallel: bool, fidelity: Fidelity) -> Figure {
             .iter()
             .flat_map(|&(l, w)| PAPER_DELAYS_US.iter().map(move |&d| (l, w, d)))
             .collect();
-        let res = parallel_map(pts, |(l, w, d)| {
-            (l, d, run_ipoib_point(cfg, w, 1, d, fidelity))
+        let res = parallel_map(run, pts, |(l, w, d)| {
+            (l, d, run_ipoib_point(run, cfg, w, 1, d))
         });
         for &(label, _) in &WINDOWS {
             let mut s = Series::new(label);
@@ -128,7 +129,7 @@ pub fn fig6_ipoib_ud(parallel: bool, fidelity: Fidelity) -> Figure {
 
 /// Figure 7(a): IPoIB-RC single-stream throughput vs WAN delay, one series
 /// per IP MTU. Figure 7(b): parallel streams at the 64 KB MTU.
-pub fn fig7_ipoib_rc(parallel: bool, fidelity: Fidelity) -> Figure {
+pub fn fig7_ipoib_rc(run: &RunConfig, parallel: bool) -> Figure {
     if parallel {
         let cfg = IpoibConfig::rc(65536);
         let mut fig = Figure::new(
@@ -141,11 +142,11 @@ pub fn fig7_ipoib_rc(parallel: bool, fidelity: Fidelity) -> Figure {
             .iter()
             .flat_map(|&n| PAPER_DELAYS_US.iter().map(move |&d| (n, d)))
             .collect();
-        let res = parallel_map(pts, |(n, d)| {
+        let res = parallel_map(run, pts, |(n, d)| {
             (
                 n,
                 d,
-                run_ipoib_point(cfg, tcpstack::DEFAULT_WINDOW, n, d, fidelity),
+                run_ipoib_point(run, cfg, tcpstack::DEFAULT_WINDOW, n, d),
             )
         });
         for &n in &STREAMS {
@@ -169,11 +170,11 @@ pub fn fig7_ipoib_rc(parallel: bool, fidelity: Fidelity) -> Figure {
             .iter()
             .flat_map(|&m| PAPER_DELAYS_US.iter().map(move |&d| (m, d)))
             .collect();
-        let res = parallel_map(pts, |(m, d)| {
+        let res = parallel_map(run, pts, |(m, d)| {
             (
                 m,
                 d,
-                run_ipoib_point(IpoibConfig::rc(m), tcpstack::DEFAULT_WINDOW, 1, d, fidelity),
+                run_ipoib_point(run, IpoibConfig::rc(m), tcpstack::DEFAULT_WINDOW, 1, d),
             )
         });
         for &m in &RC_MTUS {
@@ -195,7 +196,7 @@ mod tests {
 
     #[test]
     fn fig6a_larger_windows_win_at_delay() {
-        let f = fig6_ipoib_ud(false, Fidelity::Quick);
+        let f = fig6_ipoib_ud(&RunConfig::default(), false);
         let small = f.series("64k-window").unwrap().y_at(1000.0).unwrap();
         let default = f.series("default").unwrap().y_at(1000.0).unwrap();
         assert!(
@@ -210,7 +211,7 @@ mod tests {
 
     #[test]
     fn fig6b_parallel_streams_sustain_at_1ms() {
-        let f = fig6_ipoib_ud(true, Fidelity::Quick);
+        let f = fig6_ipoib_ud(&RunConfig::default(), true);
         // The paper: peak IPoIB-UD sustained at 1 ms with multiple streams.
         let eight_1ms = f.series("8-streams").unwrap().y_at(1000.0).unwrap();
         let peak = f.series("8-streams").unwrap().y_at(0.0).unwrap();
@@ -229,7 +230,7 @@ mod tests {
 
     #[test]
     fn fig7a_mtu_ordering_and_collapse() {
-        let f = fig7_ipoib_rc(false, Fidelity::Quick);
+        let f = fig7_ipoib_rc(&RunConfig::default(), false);
         let m2 = f.series("2K-MTU").unwrap().y_at(0.0).unwrap();
         let m64 = f.series("64K-MTU").unwrap().y_at(0.0).unwrap();
         assert!(m64 > 1.5 * m2, "64K MTU ({m64}) must beat 2K ({m2})");

@@ -37,18 +37,23 @@
 pub mod adaptive;
 pub mod analysis;
 pub mod calibration;
+pub mod config;
 pub mod ext_exp;
 pub mod ipoib_exp;
 pub mod mpi_exp;
 pub mod nas_exp;
 pub mod nfs_exp;
 pub mod planner;
+pub mod registry;
 pub mod results;
+pub mod runner;
 pub mod scenario;
 pub mod sweep;
 pub mod topology;
 pub mod verbs;
 
+pub use config::{EngineProfile, PartitionMode, RunConfig};
+pub use registry::{catalog, Experiment};
 pub use results::{Figure, Series};
 pub use topology::{lan_node_pair, wan_node_pair};
 
@@ -67,6 +72,14 @@ impl Fidelity {
         match self {
             Fidelity::Quick => quick,
             Fidelity::Full => full,
+        }
+    }
+
+    /// Stable lowercase name (provenance blocks, config digests).
+    pub fn name(self) -> &'static str {
+        match self {
+            Fidelity::Quick => "quick",
+            Fidelity::Full => "full",
         }
     }
 }

@@ -1,5 +1,6 @@
 //! MPI experiments: Figures 8–11.
 
+use crate::config::RunConfig;
 use crate::results::{Figure, Series};
 use crate::sweep::parallel_map;
 use crate::{Fidelity, PAPER_DELAYS_US};
@@ -7,6 +8,13 @@ use mpisim::bench::{msg_rate, osu_bcast, osu_bibw, osu_bw, wan_pair_with};
 use mpisim::proto::MpiConfig;
 use mpisim::world::JobSpec;
 use simcore::Dur;
+
+/// Apply the run context to a job spec: engine profile plus the config's
+/// seed offset over the spec's canonical seed.
+fn contextualize(spec: JobSpec, cfg: &RunConfig) -> JobSpec {
+    let seed = cfg.seed_for(spec.seed);
+    spec.with_profile(cfg.engine()).with_seed(seed)
+}
 
 /// Message sizes for the Figure 8 bandwidth sweep.
 pub const MPI_BW_SIZES: [u32; 10] = [
@@ -32,7 +40,7 @@ fn bw_params(fidelity: Fidelity, size: u32) -> (u32, u32) {
 /// Figure 8: MPI bandwidth (a) / bidirectional bandwidth (b) vs message
 /// size, one series per WAN delay. MVAPICH2 defaults (8 KB rendezvous
 /// threshold).
-pub fn fig8_mpi_bandwidth(bidir: bool, fidelity: Fidelity) -> Figure {
+pub fn fig8_mpi_bandwidth(cfg: &RunConfig, bidir: bool) -> Figure {
     let (id, title) = if bidir {
         ("fig8b", "MPI bidirectional bandwidth (MVAPICH2 defaults)")
     } else {
@@ -43,9 +51,9 @@ pub fn fig8_mpi_bandwidth(bidir: bool, fidelity: Fidelity) -> Figure {
         .iter()
         .flat_map(|&d| MPI_BW_SIZES.iter().map(move |&s| (d, s)))
         .collect();
-    let res = parallel_map(pts, |(d, size)| {
-        let (window, iters) = bw_params(fidelity, size);
-        let spec = wan_pair_with(Dur::from_us(d), MpiConfig::default());
+    let res = parallel_map(cfg, pts, |(d, size)| {
+        let (window, iters) = bw_params(cfg.fidelity, size);
+        let spec = contextualize(wan_pair_with(Dur::from_us(d), MpiConfig::default()), cfg);
         let bw = if bidir {
             osu_bibw(spec, size, window, iters)
         } else {
@@ -76,7 +84,7 @@ pub const FIG9_SIZES: [u32; 7] = [1024, 2048, 4096, 8192, 16384, 32768, 65536];
 /// Figure 9: MPI bandwidth (a) / bidirectional bandwidth (b) at 10 ms delay
 /// with the default 8 KB rendezvous threshold versus the WAN-tuned 64 KB
 /// threshold.
-pub fn fig9_threshold_tuning(bidir: bool, fidelity: Fidelity) -> Figure {
+pub fn fig9_threshold_tuning(cfg: &RunConfig, bidir: bool) -> Figure {
     let (id, title) = if bidir {
         ("fig9b", "MPI bidir bandwidth at 10 ms: threshold 8K vs 64K")
     } else {
@@ -92,9 +100,9 @@ pub fn fig9_threshold_tuning(bidir: bool, fidelity: Fidelity) -> Figure {
         .iter()
         .flat_map(|&(l, c)| FIG9_SIZES.iter().map(move |&s| (l, c, s)))
         .collect();
-    let res = parallel_map(pts, |(l, c, size)| {
-        let (window, iters) = bw_params(fidelity, size);
-        let spec = wan_pair_with(delay, c);
+    let res = parallel_map(cfg, pts, |(l, c, size)| {
+        let (window, iters) = bw_params(cfg.fidelity, size);
+        let spec = contextualize(wan_pair_with(delay, c), cfg);
         let bw = if bidir {
             osu_bibw(spec, size, window, iters)
         } else {
@@ -123,7 +131,7 @@ pub const FIG10_DELAYS_US: [u64; 3] = [10, 1000, 10000];
 
 /// Figure 10, one panel: aggregate multi-pair message rate vs message size
 /// at the given delay, one series per pair count.
-pub fn fig10_message_rate(delay_us: u64, fidelity: Fidelity) -> Figure {
+pub fn fig10_message_rate(cfg: &RunConfig, delay_us: u64) -> Figure {
     let mut fig = Figure::new(
         format!("fig10-{delay_us}us"),
         format!("Multi-pair message rate, {delay_us} us delay"),
@@ -134,10 +142,13 @@ pub fn fig10_message_rate(delay_us: u64, fidelity: Fidelity) -> Figure {
         .iter()
         .flat_map(|&p| FIG10_SIZES.iter().map(move |&s| (p, s)))
         .collect();
-    let res = parallel_map(pts, |(pairs, size)| {
+    let res = parallel_map(cfg, pts, |(pairs, size)| {
         let window = 64;
-        let iters = fidelity.iters(2, 8) as u32;
-        let spec = JobSpec::two_clusters(pairs, pairs, Dur::from_us(delay_us));
+        let iters = cfg.fidelity.iters(2, 8) as u32;
+        let spec = contextualize(
+            JobSpec::two_clusters(pairs, pairs, Dur::from_us(delay_us)),
+            cfg,
+        );
         (pairs, size, msg_rate(spec, pairs, size, window, iters))
     });
     for &p in &FIG10_PAIRS {
@@ -160,8 +171,8 @@ pub const FIG11_DELAYS_US: [u64; 3] = [10, 100, 1000];
 /// Figure 11, one panel: broadcast latency of the original (flat MVAPICH2)
 /// algorithm vs the WAN-aware hierarchical one, at the given delay.
 /// The paper uses 64 processes per cluster; `Quick` fidelity uses 16+16.
-pub fn fig11_bcast(delay_us: u64, fidelity: Fidelity) -> Figure {
-    let per_cluster = match fidelity {
+pub fn fig11_bcast(cfg: &RunConfig, delay_us: u64) -> Figure {
+    let per_cluster = match cfg.fidelity {
         Fidelity::Quick => 16,
         Fidelity::Full => 64,
     };
@@ -178,9 +189,12 @@ pub fn fig11_bcast(delay_us: u64, fidelity: Fidelity) -> Figure {
         .iter()
         .flat_map(|&h| FIG11_SIZES.iter().map(move |&s| (h, s)))
         .collect();
-    let res = parallel_map(pts, |(hier, size)| {
-        let iters = fidelity.iters(2, 6) as u32;
-        let spec = JobSpec::two_clusters(per_cluster, per_cluster, Dur::from_us(delay_us));
+    let res = parallel_map(cfg, pts, |(hier, size)| {
+        let iters = cfg.fidelity.iters(2, 6) as u32;
+        let spec = contextualize(
+            JobSpec::two_clusters(per_cluster, per_cluster, Dur::from_us(delay_us)),
+            cfg,
+        );
         (hier, size, osu_bcast(spec, size, iters, hier))
     });
     for (hier, label) in [(false, "original"), (true, "modified")] {
@@ -201,7 +215,7 @@ mod tests {
 
     #[test]
     fn fig8_peak_and_rendezvous_dip() {
-        let f = fig8_mpi_bandwidth(false, Fidelity::Quick);
+        let f = fig8_mpi_bandwidth(&RunConfig::default(), false);
         let peak = f.series("MVAPICH-no-delay").unwrap().peak();
         assert!(peak > 900.0, "MPI peak {peak}");
         // Medium messages above the 8 KB threshold are hit hard at 10 ms.
@@ -212,7 +226,7 @@ mod tests {
 
     #[test]
     fn fig9_tuning_improves_medium_sizes() {
-        let f = fig9_threshold_tuning(false, Fidelity::Quick);
+        let f = fig9_threshold_tuning(&RunConfig::default(), false);
         let orig = f.series("thresh-8k-original").unwrap();
         let tuned = f.series("thresh-64k-tuned").unwrap();
         let o16 = orig.y_at(16384.0).unwrap();
@@ -229,7 +243,7 @@ mod tests {
 
     #[test]
     fn fig10_rate_scales_with_pairs() {
-        let f = fig10_message_rate(10, Fidelity::Quick);
+        let f = fig10_message_rate(&RunConfig::default(), 10);
         let r4 = f.series("4-pairs").unwrap().y_at(1.0).unwrap();
         let r16 = f.series("16-pairs").unwrap().y_at(1.0).unwrap();
         assert!(r16 > 2.0 * r4, "16 pairs {r16} vs 4 pairs {r4}");
@@ -237,7 +251,7 @@ mod tests {
 
     #[test]
     fn fig11_hierarchical_wins_large_messages() {
-        let f = fig11_bcast(100, Fidelity::Quick);
+        let f = fig11_bcast(&RunConfig::default(), 100);
         let orig = f.series("original").unwrap();
         let modi = f.series("modified").unwrap();
         let o = orig.y_at(131072.0).unwrap();

@@ -1,15 +1,17 @@
 //! NAS application experiment: Figure 12.
 
+use crate::config::RunConfig;
 use crate::results::{Figure, Series};
 use crate::sweep::parallel_map;
 use crate::{Fidelity, PAPER_DELAYS_US};
-use nasbench::{run, NasBenchmark};
+use mpisim::world::JobSpec;
+use nasbench::{run_spec, NasBenchmark};
 use simcore::Dur;
 
 /// Figure 12: NAS class-B execution time vs WAN delay for IS, FT, and CG.
 /// The paper runs 32+32 processes; `Quick` fidelity uses 8+8.
-pub fn fig12_nas(fidelity: Fidelity) -> Figure {
-    let per_cluster = match fidelity {
+pub fn fig12_nas(cfg: &RunConfig) -> Figure {
+    let per_cluster = match cfg.fidelity {
         Fidelity::Quick => 8,
         Fidelity::Full => 32,
     };
@@ -26,8 +28,12 @@ pub fn fig12_nas(fidelity: Fidelity) -> Figure {
         .iter()
         .flat_map(|&b| PAPER_DELAYS_US.iter().map(move |&d| (b, d)))
         .collect();
-    let res = parallel_map(pts, |(bench, d)| {
-        let r = run(bench, per_cluster, per_cluster, Dur::from_us(d));
+    let res = parallel_map(cfg, pts, |(bench, d)| {
+        let spec = JobSpec::two_clusters(per_cluster, per_cluster, Dur::from_us(d));
+        let spec = spec
+            .with_profile(cfg.engine())
+            .with_seed(cfg.seed_for(spec.seed));
+        let r = run_spec(bench, spec);
         (bench, d, r.time_secs)
     });
     for &bench in &NasBenchmark::ALL {
@@ -68,7 +74,7 @@ mod tests {
 
     #[test]
     fn fig12_shapes_match_paper() {
-        let f = fig12_nas(Fidelity::Quick);
+        let f = fig12_nas(&RunConfig::default());
         let slow = fig12_slowdowns(&f);
         let is_1ms = slow.series("IS").unwrap().y_at(1000.0).unwrap();
         let ft_1ms = slow.series("FT").unwrap().y_at(1000.0).unwrap();

@@ -1,5 +1,6 @@
 //! NFS experiments: Figure 13.
 
+use crate::config::RunConfig;
 use crate::results::{Figure, Series};
 use crate::sweep::parallel_map;
 use crate::Fidelity;
@@ -9,20 +10,19 @@ use simcore::Dur;
 /// Client stream (thread) counts on the Figure 13 x-axis.
 pub const NFS_STREAMS: [usize; 4] = [1, 2, 4, 8];
 
-fn setup(t: Transport, threads: usize, delay: Option<Dur>, fidelity: Fidelity) -> NfsSetup {
-    match fidelity {
-        Fidelity::Quick => {
-            let mut s = NfsSetup::scaled(t, threads, delay);
-            s.file_size = 16 << 20;
-            s
-        }
-        Fidelity::Full => NfsSetup::scaled(t, threads, delay),
+fn setup(cfg: &RunConfig, t: Transport, threads: usize, delay: Option<Dur>) -> NfsSetup {
+    let mut s = NfsSetup::scaled(t, threads, delay);
+    if cfg.fidelity == Fidelity::Quick {
+        s.file_size = 16 << 20;
     }
+    s.profile = cfg.engine();
+    s.seed = cfg.seed_for(s.seed);
+    s
 }
 
 /// Figure 13(a): NFS/RDMA read throughput vs client streams — LAN baseline
 /// plus each WAN delay.
-pub fn fig13a_nfs_rdma(fidelity: Fidelity) -> Figure {
+pub fn fig13a_nfs_rdma(cfg: &RunConfig) -> Figure {
     let mut fig = Figure::new(
         "fig13a",
         "NFS/RDMA read throughput: LAN vs WAN delays",
@@ -39,8 +39,8 @@ pub fn fig13a_nfs_rdma(fidelity: Fidelity) -> Figure {
     let pts: Vec<(usize, usize)> = (0..delays.len())
         .flat_map(|di| NFS_STREAMS.iter().map(move |&n| (di, n)))
         .collect();
-    let res = parallel_map(pts, |(di, n)| {
-        let t = run_read_experiment(setup(Transport::Rdma, n, delays[di].1, fidelity));
+    let res = parallel_map(cfg, pts, |(di, n)| {
+        let t = run_read_experiment(setup(cfg, Transport::Rdma, n, delays[di].1));
         (di, n, t.mbs)
     });
     for (di, (label, _)) in delays.iter().enumerate() {
@@ -57,7 +57,7 @@ pub fn fig13a_nfs_rdma(fidelity: Fidelity) -> Figure {
 
 /// Figure 13(b)/(c): the three transports compared at one delay
 /// (100 µs for panel b, 1000 µs for panel c).
-pub fn fig13_transport_comparison(delay_us: u64, fidelity: Fidelity) -> Figure {
+pub fn fig13_transport_comparison(cfg: &RunConfig, delay_us: u64) -> Figure {
     let mut fig = Figure::new(
         format!("fig13-{delay_us}us"),
         format!("NFS read throughput at {delay_us} us delay"),
@@ -69,8 +69,8 @@ pub fn fig13_transport_comparison(delay_us: u64, fidelity: Fidelity) -> Figure {
         .iter()
         .flat_map(|&t| NFS_STREAMS.iter().map(move |&n| (t, n)))
         .collect();
-    let res = parallel_map(pts, |(t, n)| {
-        let r = run_read_experiment(setup(t, n, Some(Dur::from_us(delay_us)), fidelity));
+    let res = parallel_map(cfg, pts, |(t, n)| {
+        let r = run_read_experiment(setup(cfg, t, n, Some(Dur::from_us(delay_us))));
         (t, n, r.mbs)
     });
     for &t in &transports {
@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn fig13a_lan_beats_wan() {
-        let f = fig13a_nfs_rdma(Fidelity::Quick);
+        let f = fig13a_nfs_rdma(&RunConfig::default());
         let lan = f.series("LAN").unwrap().y_at(8.0).unwrap();
         let wan0 = f.series("0usec").unwrap().y_at(8.0).unwrap();
         let wan1000 = f.series("1000usec").unwrap().y_at(8.0).unwrap();
@@ -101,7 +101,7 @@ mod tests {
 
     #[test]
     fn fig13_crossover_between_panels() {
-        let b = fig13_transport_comparison(100, Fidelity::Quick);
+        let b = fig13_transport_comparison(&RunConfig::default(), 100);
         let rdma_b = b.series("RDMA").unwrap().y_at(8.0).unwrap();
         let rc_b = b.series("IPoIB-RC").unwrap().y_at(8.0).unwrap();
         let ud_b = b.series("IPoIB-UD").unwrap().y_at(8.0).unwrap();
@@ -110,7 +110,7 @@ mod tests {
             "panel b: {rdma_b} {rc_b} {ud_b}"
         );
 
-        let c = fig13_transport_comparison(1000, Fidelity::Quick);
+        let c = fig13_transport_comparison(&RunConfig::default(), 1000);
         let rdma_c = c.series("RDMA").unwrap().y_at(8.0).unwrap();
         let rc_c = c.series("IPoIB-RC").unwrap().y_at(8.0).unwrap();
         assert!(

@@ -73,7 +73,7 @@ pub fn plan_summary(target: Rate, delay: Dur) -> String {
 mod tests {
     use super::*;
     use crate::ipoib_exp::run_ipoib_point;
-    use crate::Fidelity;
+    use crate::RunConfig;
     use ipoib::node::IpoibConfig;
 
     #[test]
@@ -90,13 +90,19 @@ mod tests {
         let target = Rate::from_mbytes_per_sec(200);
         let delay = Dur::from_ms(1);
         let window = tcp_window_for(target, delay);
-        let got = run_ipoib_point(IpoibConfig::ud(), window, 1, 1000, Fidelity::Quick);
+        let got = run_ipoib_point(&RunConfig::default(), IpoibConfig::ud(), window, 1, 1000);
         assert!(
             got >= 160.0,
             "planned window {window} delivered only {got} MB/s"
         );
         // And that half the planned window cannot reach the target.
-        let starved = run_ipoib_point(IpoibConfig::ud(), window / 2, 1, 1000, Fidelity::Quick);
+        let starved = run_ipoib_point(
+            &RunConfig::default(),
+            IpoibConfig::ud(),
+            window / 2,
+            1,
+            1000,
+        );
         assert!(starved < 160.0, "half window still hit {starved}");
     }
 

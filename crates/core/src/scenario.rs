@@ -4,6 +4,7 @@
 //!
 //! ```
 //! use ibwan_core::scenario::{Scenario, Topology, Workload};
+//! use ibwan_core::RunConfig;
 //!
 //! let s = Scenario {
 //!     name: "quick-check".into(),
@@ -11,11 +12,12 @@
 //!     topology: Topology { delay_us: 1000, loss_ppm: 0 },
 //!     workload: Workload::MpiLatency { size: 4, iters: 10 },
 //! };
-//! let r = s.run();
+//! let r = s.run(&RunConfig::default());
 //! assert_eq!(r.unit, "us");
 //! assert!(r.value > 1000.0); // one-way latency exceeds the wire delay
 //! ```
 
+use crate::config::RunConfig;
 use crate::topology::{wan_node_pair, wan_node_pair_lossy};
 use ibfabric::perftest::{rc_qp_pair, ud_qp_pair, BwConfig, BwPeer, LatMode, PingPong};
 use ibfabric::qp::QpConfig;
@@ -448,39 +450,27 @@ impl Scenario {
         .to_pretty()
     }
 
-    /// Run the scenario on the serial engine regardless of the process-wide
-    /// partition mode, restoring the previous mode afterwards (panic-safe).
-    ///
-    /// The partitioned engine is bit-identical to serial by construction
-    /// (golden A/B tests in `bench`), so this exists for apples-to-apples
-    /// timing comparisons (`repro --serial`, `perf`'s serial column) and as
-    /// an escape hatch should a future topology expose a protocol bug.
-    pub fn run_serial(&self) -> ScenarioResult {
-        use ibfabric::fabric::{partition_mode, set_partition_mode, PartitionMode};
-        struct Restore(PartitionMode);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                set_partition_mode(self.0);
-            }
-        }
-        let _restore = Restore(partition_mode());
-        set_partition_mode(PartitionMode::Off);
-        self.run()
-    }
-
     /// Run the scenario and return its headline number.
     ///
-    /// Engine choice is implicit: each `Fabric::run` consults the domain
-    /// plan its builder computed and the process-wide [`PartitionMode`]
-    /// (see `ibfabric::fabric`), so WAN scenarios may execute on the
-    /// partitioned engine while LAN scenarios stay serial. Results are
-    /// identical either way; use [`Scenario::run_serial`] to force the
-    /// serial engine for timing comparisons.
+    /// The config supplies the engine profile: each `Fabric::run` consults
+    /// the domain plan its builder computed and the config's
+    /// [`PartitionMode`], so WAN scenarios may execute on the partitioned
+    /// engine while LAN scenarios stay serial. Results are identical either
+    /// way (golden A/B tests in `bench`); pass a config with
+    /// `PartitionMode::Off` for apples-to-apples timing comparisons
+    /// (`repro --serial`, `perf`'s serial column).
     ///
     /// [`PartitionMode`]: ibfabric::fabric::PartitionMode
-    pub fn run(&self) -> ScenarioResult {
+    pub fn run(&self, cfg: &RunConfig) -> ScenarioResult {
         let delay = Dur::from_us(self.topology.delay_us);
         let loss = self.topology.loss_ppm;
+        // MPI-family workloads historically run on the spec's canonical
+        // seed (42), not the scenario seed; preserve that (plus the
+        // config's offset) so recorded outputs stay bit-identical.
+        let contextualize = |spec: JobSpec| -> JobSpec {
+            let seed = cfg.seed_for(spec.seed);
+            spec.with_profile(cfg.engine()).with_seed(seed)
+        };
         let result = |metric: &str, value: f64, unit: &str| ScenarioResult {
             name: self.name.clone(),
             metric: metric.into(),
@@ -497,7 +487,7 @@ impl Scenario {
                 };
                 let mk = |init| Box::new(PingPong::new(m, init, *size, *iters));
                 let (mut f, a, b) =
-                    wan_node_pair_lossy(self.seed, delay, loss, mk(true), mk(false));
+                    wan_node_pair_lossy(cfg, self.seed, delay, loss, mk(true), mk(false));
                 match m {
                     LatMode::SendUd => {
                         assert_eq!(loss, 0, "UD has no retransmission; lossy latency undefined");
@@ -538,6 +528,7 @@ impl Scenario {
                     other => panic!("unknown transport {other:?}"),
                 };
                 let (mut f, a, b) = wan_node_pair_lossy(
+                    cfg,
                     self.seed,
                     delay,
                     loss,
@@ -572,19 +563,19 @@ impl Scenario {
                 bytes_per_stream,
             } => {
                 assert_eq!(loss, 0, "IPoIB workload models a pristine WAN");
-                let cfg = match mode.as_str() {
+                let ipoib = match mode.as_str() {
                     "ud" => IpoibConfig::ud(),
                     "rc" => IpoibConfig::rc(*mtu),
                     other => panic!("unknown IPoIB mode {other:?}"),
                 };
-                let mut tcp = TcpConfig::for_mtu(cfg.mtu).with_window(*window);
+                let mut tcp = TcpConfig::for_mtu(ipoib.mtu).with_window(*window);
                 tcp.init_cwnd_segments = 1 << 20;
-                let tx = Box::new(IpoibNode::sender(cfg, tcp, *streams, *bytes_per_stream));
-                let rx = Box::new(IpoibNode::receiver(cfg, tcp, *streams, *bytes_per_stream));
-                let (mut f, a, b) = wan_node_pair(self.seed, delay, tx, rx);
-                let qa = f.hca_mut(a).core_mut().create_qp(cfg.qp_config());
-                let qb = f.hca_mut(b).core_mut().create_qp(cfg.qp_config());
-                if cfg.mode == IpoibMode::Rc {
+                let tx = Box::new(IpoibNode::sender(ipoib, tcp, *streams, *bytes_per_stream));
+                let rx = Box::new(IpoibNode::receiver(ipoib, tcp, *streams, *bytes_per_stream));
+                let (mut f, a, b) = wan_node_pair(cfg, self.seed, delay, tx, rx);
+                let qa = f.hca_mut(a).core_mut().create_qp(ipoib.qp_config());
+                let qb = f.hca_mut(b).core_mut().create_qp(ipoib.qp_config());
+                if ipoib.mode == IpoibMode::Rc {
                     f.hca_mut(a).core_mut().connect(qa, (b.lid, qb));
                     f.hca_mut(b).core_mut().connect(qb, (a.lid, qa));
                 }
@@ -607,7 +598,7 @@ impl Scenario {
             }
             Workload::MpiLatency { size, iters } => {
                 assert_eq!(loss, 0, "MPI workloads model a pristine WAN");
-                let spec = JobSpec::two_clusters(1, 1, delay);
+                let spec = contextualize(JobSpec::two_clusters(1, 1, delay));
                 result("latency", mpibench::osu_latency(spec, *size, *iters), "us")
             }
             Workload::MpiBandwidth {
@@ -618,17 +609,17 @@ impl Scenario {
                 rndv_protocol,
             } => {
                 assert_eq!(loss, 0, "MPI workloads model a pristine WAN");
-                let mut cfg = MpiConfig::default();
+                let mut mpi = MpiConfig::default();
                 if *eager_threshold > 0 {
-                    cfg.eager_threshold = *eager_threshold;
+                    mpi.eager_threshold = *eager_threshold;
                 }
-                cfg.rndv_protocol = match rndv_protocol.as_str() {
+                mpi.rndv_protocol = match rndv_protocol.as_str() {
                     "" | "rput" => RndvProtocol::Rput,
                     "rget" => RndvProtocol::Rget,
                     "r3" => RndvProtocol::R3,
                     other => panic!("unknown rendezvous protocol {other:?}"),
                 };
-                let spec = JobSpec::two_clusters(1, 1, delay).with_mpi(cfg);
+                let spec = contextualize(JobSpec::two_clusters(1, 1, delay).with_mpi(mpi));
                 result(
                     "bandwidth",
                     mpibench::osu_bw(spec, *size, *window, *iters),
@@ -642,7 +633,11 @@ impl Scenario {
                 hierarchical,
             } => {
                 assert_eq!(loss, 0, "MPI workloads model a pristine WAN");
-                let spec = JobSpec::two_clusters(*ranks_per_cluster, *ranks_per_cluster, delay);
+                let spec = contextualize(JobSpec::two_clusters(
+                    *ranks_per_cluster,
+                    *ranks_per_cluster,
+                    delay,
+                ));
                 result(
                     "bcast_latency",
                     mpibench::osu_bcast(spec, *size, *iters, *hierarchical),
@@ -656,7 +651,7 @@ impl Scenario {
                 iters,
             } => {
                 assert_eq!(loss, 0, "MPI workloads model a pristine WAN");
-                let spec = JobSpec::two_clusters(*pairs, *pairs, delay);
+                let spec = contextualize(JobSpec::two_clusters(*pairs, *pairs, delay));
                 result(
                     "message_rate",
                     mpibench::msg_rate(spec, *pairs, *size, *window, *iters),
@@ -676,7 +671,12 @@ impl Scenario {
                     "mg" => NasBenchmark::Mg,
                     other => panic!("unknown NAS benchmark {other:?}"),
                 };
-                let r = nasbench::run(bench, *ranks_per_cluster, *ranks_per_cluster, delay);
+                let spec = contextualize(JobSpec::two_clusters(
+                    *ranks_per_cluster,
+                    *ranks_per_cluster,
+                    delay,
+                ));
+                let r = nasbench::run_spec(bench, spec);
                 result("time", r.time_secs, "s")
             }
             Workload::MpiPattern {
@@ -692,7 +692,11 @@ impl Scenario {
                         spec.name()
                     );
                 }
-                let js = JobSpec::two_clusters(*ranks_per_cluster, *ranks_per_cluster, delay);
+                let js = contextualize(JobSpec::two_clusters(
+                    *ranks_per_cluster,
+                    *ranks_per_cluster,
+                    delay,
+                ));
                 let mut job = mpisim::world::MpiJob::build(js, |rank, n| spec.ops(rank, n));
                 job.run();
                 let n = 2 * ranks_per_cluster;
@@ -722,6 +726,8 @@ impl Scenario {
                 let mut s = NfsSetup::scaled(t, *threads, Some(delay));
                 s.file_size = file_mib << 20;
                 s.write = *write;
+                s.profile = cfg.engine();
+                s.seed = cfg.seed_for(s.seed);
                 result("throughput", run_read_experiment(s).mbs, "MB/s")
             }
         }
@@ -770,7 +776,7 @@ mod tests {
         let s = Scenario::from_json(j).unwrap();
         assert_eq!(s.seed, 42);
         assert_eq!(s.topology.loss_ppm, 0);
-        let r = s.run();
+        let r = s.run(&RunConfig::default());
         assert_eq!(r.unit, "us");
         assert!(r.value > 10.0 && r.value < 40.0, "{}", r.value);
     }
@@ -790,7 +796,7 @@ mod tests {
                 iters: 100,
             },
         };
-        let r = s.run();
+        let r = s.run(&RunConfig::default());
         assert!(r.value > 0.0);
     }
 
@@ -810,7 +816,7 @@ mod tests {
                 write: false,
             },
         };
-        let r = s.run();
+        let r = s.run(&RunConfig::default());
         assert_eq!(r.unit, "MB/s");
         assert!(r.value > 10.0);
     }
@@ -831,9 +837,192 @@ mod tests {
             }
         }"#;
         let s = Scenario::from_json(j).unwrap();
-        let r = s.run();
+        let r = s.run(&RunConfig::default());
         assert_eq!(r.unit, "s");
         assert!(r.value > 0.0);
+    }
+
+    /// One instance of every [`Workload`] variant, for the round-trip sweep.
+    fn every_workload_variant() -> Vec<Workload> {
+        vec![
+            Workload::VerbsLatency {
+                mode: "send_rc".into(),
+                size: 4,
+                iters: 50,
+            },
+            Workload::VerbsBandwidth {
+                transport: "ud".into(),
+                size: 2048,
+                iters: 1000,
+            },
+            Workload::Ipoib {
+                mode: "rc".into(),
+                mtu: 16384,
+                window: 1 << 20,
+                streams: 4,
+                bytes_per_stream: 8 << 20,
+            },
+            Workload::MpiLatency {
+                size: 64,
+                iters: 20,
+            },
+            Workload::MpiBandwidth {
+                size: 65536,
+                window: 32,
+                iters: 8,
+                eager_threshold: 1 << 17,
+                rndv_protocol: "rget".into(),
+            },
+            Workload::MpiBcast {
+                ranks_per_cluster: 8,
+                size: 4096,
+                iters: 10,
+                hierarchical: true,
+            },
+            Workload::MessageRate {
+                pairs: 3,
+                size: 128,
+                window: 64,
+                iters: 100,
+            },
+            Workload::Nas {
+                benchmark: "ft".into(),
+                ranks_per_cluster: 8,
+            },
+            Workload::MpiPattern {
+                ranks_per_cluster: 4,
+                spec: mpisim::patterns::Pattern::Halo2d {
+                    rows: 2,
+                    cols: 4,
+                    face_bytes: 8192,
+                    iters: 3,
+                    compute_us: 50,
+                },
+            },
+            Workload::Nfs {
+                transport: "ipoib_rc".into(),
+                threads: 16,
+                file_mib: 256,
+                write: true,
+            },
+        ]
+    }
+
+    /// Property-style sweep: every variant must survive
+    /// `to_value → print → parse → from_value` with an identical printed
+    /// form (printed JSON is the canonical comparison — field order is
+    /// insertion order, so equality is exact, and `Workload` itself has no
+    /// `PartialEq`).
+    #[test]
+    fn every_workload_variant_round_trips_through_json() {
+        for w in every_workload_variant() {
+            let printed = w.to_value().to_pretty();
+            let parsed = minijson::Value::parse(&printed)
+                .unwrap_or_else(|e| panic!("unparsable print of {w:?}: {e}"));
+            let back = Workload::from_value(&parsed)
+                .unwrap_or_else(|e| panic!("round-trip rejected {w:?}: {e}"));
+            assert_eq!(
+                back.to_value().to_pretty(),
+                printed,
+                "round trip changed the serialized form of {w:?}"
+            );
+        }
+    }
+
+    /// A whole scenario wrapping each variant must round-trip through
+    /// `Scenario::to_json`/`from_json` the same way.
+    #[test]
+    fn every_scenario_round_trips_through_json() {
+        for (i, w) in every_workload_variant().into_iter().enumerate() {
+            let s = Scenario {
+                name: format!("variant-{i}"),
+                seed: 10 + i as u64,
+                topology: Topology {
+                    delay_us: 100 * i as u64,
+                    loss_ppm: if i % 2 == 0 { 0 } else { 500 },
+                },
+                workload: w,
+            };
+            let j = s.to_json();
+            let back = Scenario::from_json(&j).unwrap_or_else(|e| panic!("{j}\nrejected: {e}"));
+            assert_eq!(back.to_json(), j, "scenario {i} changed across round trip");
+            assert_eq!(back.seed, s.seed);
+            assert_eq!(back.topology.delay_us, s.topology.delay_us);
+            assert_eq!(back.topology.loss_ppm, s.topology.loss_ppm);
+        }
+    }
+
+    /// Malformed workloads must come back as readable `Err`s naming the
+    /// offending field — never panics, never silent defaults for required
+    /// fields.
+    #[test]
+    fn malformed_workloads_are_rejected_with_field_names() {
+        let cases: &[(&str, &str)] = &[
+            // No kind tag at all.
+            (r#"{ "size": 4 }"#, "kind"),
+            // Unknown kind.
+            (r#"{ "kind": "quantum_teleport" }"#, "quantum_teleport"),
+            // Missing required numeric field.
+            (r#"{ "kind": "mpi_latency", "size": 4 }"#, "iters"),
+            // Wrong type: string where a number is required.
+            (
+                r#"{ "kind": "mpi_latency", "size": "big", "iters": 5 }"#,
+                "size",
+            ),
+            // Wrong type: number where a string is required.
+            (
+                r#"{ "kind": "verbs_latency", "mode": 7, "size": 4, "iters": 5 }"#,
+                "mode",
+            ),
+            // Wrong type: non-boolean flag.
+            (
+                r#"{ "kind": "nfs", "transport": "rdma", "threads": 1, "file_mib": 8, "write": "yes" }"#,
+                "write",
+            ),
+            // Negative numbers are not valid u64 fields.
+            (
+                r#"{ "kind": "mpi_latency", "size": -4, "iters": 5 }"#,
+                "size",
+            ),
+            // mpi_pattern without its spec.
+            (
+                r#"{ "kind": "mpi_pattern", "ranks_per_cluster": 4 }"#,
+                "spec",
+            ),
+            // mpi_pattern with a bogus pattern name inside the spec.
+            (
+                r#"{ "kind": "mpi_pattern", "ranks_per_cluster": 4, "spec": { "pattern": "moebius" } }"#,
+                "moebius",
+            ),
+        ];
+        for (json, expect) in cases {
+            let v = minijson::Value::parse(json).expect("test JSON must parse");
+            match Workload::from_value(&v) {
+                Ok(w) => panic!("malformed workload accepted: {json} -> {w:?}"),
+                Err(e) => assert!(
+                    e.contains(expect),
+                    "error for {json} should name {expect:?}, got: {e}"
+                ),
+            }
+        }
+    }
+
+    /// Malformed scenario envelopes fail the same way.
+    #[test]
+    fn malformed_scenarios_are_rejected() {
+        let missing_name =
+            r#"{ "topology": {}, "workload": { "kind": "mpi_latency", "size": 4, "iters": 5 } }"#;
+        assert!(Scenario::from_json(missing_name)
+            .unwrap_err()
+            .contains("name"));
+        let missing_topology =
+            r#"{ "name": "x", "workload": { "kind": "mpi_latency", "size": 4, "iters": 5 } }"#;
+        assert!(Scenario::from_json(missing_topology)
+            .unwrap_err()
+            .contains("topology"));
+        let bad_seed = r#"{ "name": "x", "seed": "abc", "topology": {}, "workload": { "kind": "mpi_latency", "size": 4, "iters": 5 } }"#;
+        assert!(Scenario::from_json(bad_seed).unwrap_err().contains("seed"));
+        assert!(Scenario::from_json("not json at all").is_err());
     }
 
     #[test]
@@ -851,6 +1040,6 @@ mod tests {
                 ranks_per_cluster: 4,
             },
         };
-        s.run();
+        s.run(&RunConfig::default());
     }
 }

@@ -6,6 +6,8 @@
 //! the machine between *sweep* parallelism and *engine* parallelism instead
 //! of multiplying them: workers × threads-per-job ≤ available cores.
 
+use crate::config::{PartitionMode, RunConfig};
+use ibfabric::fabric::{self, RunTally};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -14,17 +16,22 @@ use std::sync::Mutex;
 /// Runs on a bounded pool of scoped worker threads that self-schedule
 /// inputs from a shared index — large sweeps no longer spawn one OS thread
 /// per configuration. The pool size is `available_parallelism` divided by
-/// the threads one job may use: when the partitioned engine is eligible
-/// (see [`ibfabric::fabric::partition_mode`]), each job is budgeted the
-/// paper's two cluster domains, halving the worker count rather than
-/// oversubscribing every core with domain threads. The workers register
-/// themselves via [`simcore::domain::register_external_workers`] so nested
-/// `Fabric::run` auto-partition decisions see how much of the machine the
-/// sweep already claims. Results come back in input order. If any worker
-/// panics, the first panic payload is re-raised in the caller once the
-/// scope joins, so the original assertion message (not a generic wrapper)
-/// reaches the user.
-pub fn parallel_map<I, T, F>(inputs: Vec<I>, f: F) -> Vec<T>
+/// the threads one job may use: when the config's [`PartitionMode`] leaves
+/// the partitioned engine eligible, each job is budgeted the paper's two
+/// cluster domains, halving the worker count rather than oversubscribing
+/// every core with domain threads; `cfg.workers` caps the pool further. The
+/// workers register themselves via
+/// [`simcore::domain::register_external_workers`] so nested `Fabric::run`
+/// auto-partition decisions see how much of the machine the sweep already
+/// claims, and workers already claimed by an *enclosing* pool (the
+/// experiment runner) shrink this pool's budget the same way. Each worker
+/// accumulates engine stats into its own thread-local
+/// [`ibfabric::fabric::RunTally`]; the pool merges them back into the
+/// calling thread on join, so per-experiment tallies survive the fan-out.
+/// Results come back in input order. If any worker panics, the first panic
+/// payload is re-raised in the caller once the scope joins, so the original
+/// assertion message (not a generic wrapper) reaches the user.
+pub fn parallel_map<I, T, F>(cfg: &RunConfig, inputs: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
     T: Send,
@@ -37,15 +44,23 @@ where
     let avail = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
+    // Cores not already claimed by an enclosing pool (floor of one so
+    // narrow machines still make progress).
+    let avail = avail
+        .saturating_sub(simcore::domain::external_workers())
+        .max(1);
     // Threads each job may consume: 2 domain threads for the paper's
-    // two-cluster WAN splits unless partitioning is off process-wide. (Jobs
-    // whose fabric has no domain plan still run serially; this only budgets
-    // the worst case.)
-    let per_job = match ibfabric::fabric::partition_mode() {
-        ibfabric::fabric::PartitionMode::Off => 1,
+    // two-cluster WAN splits unless this config pins the engine serial.
+    // (Jobs whose fabric has no domain plan still run serially; this only
+    // budgets the worst case.)
+    let per_job = match cfg.partition {
+        PartitionMode::Off => 1,
         _ => 2,
     };
-    let workers = worker_budget(avail, per_job, n);
+    let mut workers = worker_budget(avail, per_job, n);
+    if let Some(cap) = cfg.workers {
+        workers = workers.min(cap.max(1));
+    }
     let _external = simcore::domain::register_external_workers(workers);
 
     // Each input slot is claimed exactly once via the shared counter; the
@@ -53,17 +68,26 @@ where
     let slots: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let merged = Mutex::new(RunTally::default());
     let first_panic = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        return;
+                s.spawn(|| {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let input = slots[i].lock().unwrap().take().expect("slot claimed once");
+                        let out = f(input);
+                        *results[i].lock().unwrap() = Some(out);
                     }
-                    let input = slots[i].lock().unwrap().take().expect("slot claimed once");
-                    let out = f(input);
-                    *results[i].lock().unwrap() = Some(out);
+                    // Hand this worker's engine stats to the caller. Runs
+                    // even after earlier iterations' panics unwound past the
+                    // loop? No — a panic skips this, which only under-counts
+                    // the already-doomed sweep.
+                    let tally = fabric::take_run_tally();
+                    merged.lock().unwrap().merge(&tally);
                 })
             })
             .collect();
@@ -81,6 +105,7 @@ where
         // Surface the worker's own panic message to the caller.
         std::panic::resume_unwind(payload);
     }
+    fabric::merge_run_tally(&merged.into_inner().unwrap());
     results
         .into_iter()
         .map(|m| m.into_inner().unwrap().expect("missing result"))
@@ -111,7 +136,10 @@ mod tests {
     fn workers_register_as_external_while_sweeping() {
         // Release-on-drop is covered in simcore (guard tests); sibling tests
         // may sweep concurrently, so only the in-flight claim is asserted.
-        let seen = parallel_map(vec![(), (), ()], |_| simcore::domain::external_workers());
+        let cfg = RunConfig::default();
+        let seen = parallel_map(&cfg, vec![(), (), ()], |_| {
+            simcore::domain::external_workers()
+        });
         assert!(
             seen.iter().all(|&w| w >= 1),
             "jobs must see the sweep's claim: {seen:?}"
@@ -119,8 +147,43 @@ mod tests {
     }
 
     #[test]
+    fn config_caps_worker_budget() {
+        let cfg = RunConfig {
+            workers: Some(1),
+            ..RunConfig::default()
+        };
+        // With a single worker the pool is one thread claiming each input in
+        // turn; correctness (order, completeness) must be unaffected.
+        let out = parallel_map(&cfg, (0..16).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..16).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_tallies_merge_into_caller() {
+        // Each job runs a tiny fabric on a worker thread; its engine stats
+        // must land in the caller's thread-local tally after the join.
+        fn probe_run() {
+            let mut b = ibfabric::fabric::FabricBuilder::new(7);
+            let _n = b.add_hca(
+                ibfabric::hca::HcaConfig::default(),
+                Box::new(ibfabric::ulp::NullUlp),
+            );
+            b.finish().run();
+        }
+        let cfg = RunConfig::default();
+        ibfabric::fabric::reset_run_tally();
+        parallel_map(&cfg, vec![(), ()], |_| probe_run());
+        let tally = ibfabric::fabric::run_tally();
+        assert_eq!(
+            tally.serial_runs, 2,
+            "both workers' runs must merge back: {tally:?}"
+        );
+    }
+
+    #[test]
     fn preserves_order() {
-        let out = parallel_map((0..32).collect(), |x: i32| x * x);
+        let cfg = RunConfig::default();
+        let out = parallel_map(&cfg, (0..32).collect(), |x: i32| x * x);
         assert_eq!(out, (0..32).map(|x| x * x).collect::<Vec<_>>());
     }
 
@@ -128,26 +191,30 @@ mod tests {
     fn handles_more_inputs_than_workers() {
         // Far more inputs than any realistic core count: exercises the
         // self-scheduling loop rather than one-thread-per-input.
-        let out = parallel_map((0..1000).collect(), |x: i32| x + 1);
+        let cfg = RunConfig::default();
+        let out = parallel_map(&cfg, (0..1000).collect(), |x: i32| x + 1);
         assert_eq!(out, (1..1001).collect::<Vec<_>>());
     }
 
     #[test]
     fn empty_input_is_fine() {
-        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        let cfg = RunConfig::default();
+        let out: Vec<i32> = parallel_map(&cfg, Vec::<i32>::new(), |x| x);
         assert!(out.is_empty());
     }
 
     #[test]
     #[should_panic(expected = "boom")]
     fn propagates_panics() {
-        parallel_map(vec![1], |_: i32| -> i32 { panic!("boom") });
+        let cfg = RunConfig::default();
+        parallel_map(&cfg, vec![1], |_: i32| -> i32 { panic!("boom") });
     }
 
     #[test]
     #[should_panic(expected = "boom")]
     fn propagates_panics_from_pooled_workers() {
-        parallel_map((0..64).collect(), |x: i32| {
+        let cfg = RunConfig::default();
+        parallel_map(&cfg, (0..64).collect(), |x: i32| {
             if x == 33 {
                 panic!("boom");
             }

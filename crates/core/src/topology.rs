@@ -1,5 +1,12 @@
 //! Cluster-of-clusters topology helpers (the paper's Figure 1/2 setup).
+//!
+//! Every helper takes the run's [`RunConfig`] plus the experiment's
+//! canonical seed: the config supplies the engine profile (coalescing,
+//! partition mode) and may offset the seed, so the same topology code
+//! serves the default run, `--serial`/`--no-coalescing` A/B runs, and
+//! seed-shifted robustness sweeps without any global state.
 
+use crate::config::RunConfig;
 use ibfabric::fabric::{Fabric, FabricBuilder, NodeHandle};
 use ibfabric::hca::HcaConfig;
 use ibfabric::link::LinkConfig;
@@ -11,12 +18,13 @@ use simcore::Dur;
 /// (one node from each cluster, as in the paper's point-to-point WAN
 /// microbenchmarks). Returns `(fabric, node_a, node_b)`.
 pub fn wan_node_pair(
+    cfg: &RunConfig,
     seed: u64,
     delay: Dur,
     ulp_a: Box<dyn Ulp>,
     ulp_b: Box<dyn Ulp>,
 ) -> (Fabric, NodeHandle, NodeHandle) {
-    let mut b = FabricBuilder::new(seed);
+    let mut b = FabricBuilder::with_profile(cfg.seed_for(seed), cfg.engine());
     let a = b.add_hca(HcaConfig::default(), ulp_a);
     let n2 = b.add_hca(HcaConfig::default(), ulp_b);
     let sw_a = b.add_switch();
@@ -30,13 +38,14 @@ pub fn wan_node_pair(
 /// Like [`wan_node_pair`], but with packet loss injected on the WAN link
 /// (parts per million) — exercises the RC retransmission machinery.
 pub fn wan_node_pair_lossy(
+    cfg: &RunConfig,
     seed: u64,
     delay: Dur,
     loss_per_million: u32,
     ulp_a: Box<dyn Ulp>,
     ulp_b: Box<dyn Ulp>,
 ) -> (Fabric, NodeHandle, NodeHandle) {
-    let mut b = FabricBuilder::new(seed);
+    let mut b = FabricBuilder::with_profile(cfg.seed_for(seed), cfg.engine());
     let a = b.add_hca(HcaConfig::default(), ulp_a);
     let n2 = b.add_hca(HcaConfig::default(), ulp_b);
     let sw_a = b.add_switch();
@@ -59,11 +68,12 @@ pub fn wan_node_pair_lossy(
 /// Two nodes cabled back-to-back on the DDR LAN (the paper's baseline for
 /// the Figure 3 latency comparison).
 pub fn lan_node_pair(
+    cfg: &RunConfig,
     seed: u64,
     ulp_a: Box<dyn Ulp>,
     ulp_b: Box<dyn Ulp>,
 ) -> (Fabric, NodeHandle, NodeHandle) {
-    let mut b = FabricBuilder::new(seed);
+    let mut b = FabricBuilder::with_profile(cfg.seed_for(seed), cfg.engine());
     let a = b.add_hca(HcaConfig::default(), ulp_a);
     let n2 = b.add_hca(HcaConfig::default(), ulp_b);
     b.link(a.actor, n2.actor, LinkConfig::ddr_lan());
@@ -73,6 +83,7 @@ pub fn lan_node_pair(
 /// A full cluster-of-clusters fabric: `nodes_a + nodes_b` HCAs on two
 /// DDR clusters joined by a Longbow pair. Generic over per-node ULPs.
 pub fn cluster_of_clusters<F>(
+    cfg: &RunConfig,
     seed: u64,
     nodes_a: usize,
     nodes_b: usize,
@@ -82,7 +93,7 @@ pub fn cluster_of_clusters<F>(
 where
     F: FnMut(usize) -> Box<dyn Ulp>,
 {
-    let mut b = FabricBuilder::new(seed);
+    let mut b = FabricBuilder::with_profile(cfg.seed_for(seed), cfg.engine());
     let mut nodes = Vec::with_capacity(nodes_a + nodes_b);
     for i in 0..nodes_a + nodes_b {
         nodes.push(b.add_hca(HcaConfig::default(), ulp_for(i)));
@@ -108,9 +119,16 @@ mod tests {
 
     #[test]
     fn builders_produce_expected_node_counts() {
-        let (f, _a, _b) = wan_node_pair(1, Dur::from_us(10), Box::new(NullUlp), Box::new(NullUlp));
+        let cfg = RunConfig::default();
+        let (f, _a, _b) = wan_node_pair(
+            &cfg,
+            1,
+            Dur::from_us(10),
+            Box::new(NullUlp),
+            Box::new(NullUlp),
+        );
         assert_eq!(f.nodes().len(), 2);
-        let (f2, nodes) = cluster_of_clusters(1, 3, 2, Dur::ZERO, |_| Box::new(NullUlp));
+        let (f2, nodes) = cluster_of_clusters(&cfg, 1, 3, 2, Dur::ZERO, |_| Box::new(NullUlp));
         assert_eq!(nodes.len(), 5);
         assert_eq!(f2.nodes().len(), 5);
     }

@@ -1,5 +1,6 @@
 //! Verbs-level experiments: Table 1 and Figures 3–5.
 
+use crate::config::RunConfig;
 use crate::results::{Figure, Series};
 use crate::sweep::parallel_map;
 use crate::topology::{lan_node_pair, wan_node_pair};
@@ -31,13 +32,13 @@ pub fn table1() -> Figure {
 /// Message sizes for the latency test (bytes).
 const LAT_SIZES: [u32; 6] = [1, 4, 16, 64, 256, 1024];
 
-fn run_latency(through_wan: bool, mode: LatMode, size: u32, iters: u32) -> f64 {
+fn run_latency(cfg: &RunConfig, through_wan: bool, mode: LatMode, size: u32, iters: u32) -> f64 {
     let a_ulp = Box::new(PingPong::new(mode, true, size, iters));
     let b_ulp = Box::new(PingPong::new(mode, false, size, iters));
     let (mut f, a, b) = if through_wan {
-        wan_node_pair(31, Dur::ZERO, a_ulp, b_ulp)
+        wan_node_pair(cfg, 31, Dur::ZERO, a_ulp, b_ulp)
     } else {
-        lan_node_pair(31, a_ulp, b_ulp)
+        lan_node_pair(cfg, 31, a_ulp, b_ulp)
     };
     match mode {
         LatMode::SendUd => {
@@ -71,8 +72,8 @@ fn run_latency(through_wan: bool, mode: LatMode, size: u32, iters: u32) -> f64 {
 /// Figure 3: verbs small-message latency for Send/Recv UD, Send/Recv RC,
 /// and RDMA-Write RC through the Longbow pair (0 injected delay), plus the
 /// back-to-back Send/Recv RC baseline.
-pub fn fig3_latency(fidelity: Fidelity) -> Figure {
-    let iters = fidelity.iters(50, 500) as u32;
+pub fn fig3_latency(cfg: &RunConfig) -> Figure {
+    let iters = cfg.fidelity.iters(50, 500) as u32;
     let mut fig = Figure::new(
         "fig3",
         "Verbs-level latency (through Longbows at 0 delay vs back-to-back)",
@@ -86,11 +87,12 @@ pub fn fig3_latency(fidelity: Fidelity) -> Figure {
         ("BackToBack-SR/RC", false, LatMode::SendRc),
     ];
     let results = parallel_map(
+        cfg,
         variants
             .iter()
             .flat_map(|&(label, wan, mode)| LAT_SIZES.iter().map(move |&s| (label, wan, mode, s)))
             .collect::<Vec<_>>(),
-        |(label, wan, mode, size)| (label, size, run_latency(wan, mode, size, iters)),
+        |(label, wan, mode, size)| (label, size, run_latency(cfg, wan, mode, size, iters)),
     );
     for &(label, _, _) in &variants {
         let mut s = Series::new(label);
@@ -117,8 +119,8 @@ struct BwPoint {
     ud: bool,
 }
 
-fn run_bw_point(p: &BwPoint, fidelity: Fidelity) -> f64 {
-    let iters = bw_iters(fidelity, p.size);
+fn run_bw_point(cfg: &RunConfig, p: &BwPoint) -> f64 {
+    let iters = bw_iters(cfg.fidelity, p.size);
     let mk = |tx: bool| -> Box<BwPeer> {
         if tx {
             let mut cfg = BwConfig::new(p.size, iters);
@@ -128,7 +130,7 @@ fn run_bw_point(p: &BwPoint, fidelity: Fidelity) -> f64 {
             Box::new(BwPeer::receiver())
         }
     };
-    let (mut f, a, b) = wan_node_pair(33, Dur::from_us(p.delay_us), mk(true), mk(p.bidir));
+    let (mut f, a, b) = wan_node_pair(cfg, 33, Dur::from_us(p.delay_us), mk(true), mk(p.bidir));
     if p.ud {
         let (qa, qb) = ud_qp_pair(&mut f, a, b, QpConfig::ud());
         {
@@ -167,12 +169,12 @@ fn run_bw_point(p: &BwPoint, fidelity: Fidelity) -> f64 {
 }
 
 fn bw_figure(
+    cfg: &RunConfig,
     id: &str,
     title: &str,
     sizes: &[u32],
     ud: bool,
     bidir: bool,
-    fidelity: Fidelity,
 ) -> Figure {
     let mut fig = Figure::new(id, title, "msg_bytes", "MillionBytes/s");
     let points: Vec<BwPoint> = PAPER_DELAYS_US
@@ -186,7 +188,7 @@ fn bw_figure(
             })
         })
         .collect();
-    let results = parallel_map(points, |p| (p.delay_us, p.size, run_bw_point(&p, fidelity)));
+    let results = parallel_map(cfg, points, |p| (p.delay_us, p.size, run_bw_point(cfg, &p)));
     for &d in &PAPER_DELAYS_US {
         let label = if d == 0 {
             "no-delay".to_string()
@@ -222,18 +224,18 @@ pub const RC_SIZES: [u32; 10] = [
 
 /// Figure 4: verbs UD bandwidth (a) and bidirectional bandwidth (b) vs
 /// message size, one series per WAN delay.
-pub fn fig4_ud_bandwidth(bidir: bool, fidelity: Fidelity) -> Figure {
+pub fn fig4_ud_bandwidth(cfg: &RunConfig, bidir: bool) -> Figure {
     let (id, title) = if bidir {
         ("fig4b", "Verbs UD bidirectional bandwidth")
     } else {
         ("fig4a", "Verbs UD bandwidth")
     };
-    bw_figure(id, title, &UD_SIZES, true, bidir, fidelity)
+    bw_figure(cfg, id, title, &UD_SIZES, true, bidir)
 }
 
 /// Figure 5: verbs RC bandwidth (a) and bidirectional bandwidth (b) vs
 /// message size, one series per WAN delay.
-pub fn fig5_rc_bandwidth(bidir: bool, fidelity: Fidelity) -> Figure {
+pub fn fig5_rc_bandwidth(cfg: &RunConfig, bidir: bool) -> Figure {
     let mut sizes = RC_SIZES;
     sizes.sort_unstable();
     let (id, title) = if bidir {
@@ -241,7 +243,7 @@ pub fn fig5_rc_bandwidth(bidir: bool, fidelity: Fidelity) -> Figure {
     } else {
         ("fig5a", "Verbs RC bandwidth")
     };
-    bw_figure(id, title, &sizes, false, bidir, fidelity)
+    bw_figure(cfg, id, title, &sizes, false, bidir)
 }
 
 #[cfg(test)]
@@ -260,7 +262,7 @@ mod tests {
 
     #[test]
     fn fig3_longbows_add_latency_and_rdma_wins() {
-        let f = fig3_latency(Fidelity::Quick);
+        let f = fig3_latency(&RunConfig::default());
         let wan = f.series("SendRecv/RC").unwrap().y_at(4.0).unwrap();
         let lan = f.series("BackToBack-SR/RC").unwrap().y_at(4.0).unwrap();
         assert!(wan - lan > 3.5 && wan - lan < 8.0, "wan {wan} lan {lan}");
@@ -273,7 +275,7 @@ mod tests {
 
     #[test]
     fn fig4_ud_is_delay_invariant_at_peak() {
-        let f = fig4_ud_bandwidth(false, Fidelity::Quick);
+        let f = fig4_ud_bandwidth(&RunConfig::default(), false);
         let peak0 = f.series("no-delay").unwrap().y_at(2048.0).unwrap();
         let peak10ms = f.series("10000us-delay").unwrap().y_at(2048.0).unwrap();
         assert!((peak0 - 967.0).abs() < 15.0, "UD peak {peak0}");
@@ -282,7 +284,7 @@ mod tests {
 
     #[test]
     fn fig5_rc_medium_collapse_large_recovery() {
-        let f = fig5_rc_bandwidth(false, Fidelity::Quick);
+        let f = fig5_rc_bandwidth(&RunConfig::default(), false);
         let no_delay = f.series("no-delay").unwrap();
         assert!(no_delay.peak() > 940.0, "RC peak {}", no_delay.peak());
         let d10ms = f.series("10000us-delay").unwrap();

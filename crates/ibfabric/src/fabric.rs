@@ -13,52 +13,9 @@ use crate::switch::Switch;
 use crate::types::Lid;
 use crate::ulp::Ulp;
 use simcore::domain::{self, DomainReport, DomainSpec};
-use simcore::{Actor, ActorId, Dur, Engine, Time};
+use simcore::{Actor, ActorId, Dur, Engine, EngineCounters, Time};
+use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-
-/// Process-wide default for fragment-train coalescing, consulted by every
-/// new [`FabricBuilder`]. Lets a harness (e.g. `repro --no-coalescing`) A/B
-/// the coalesced and per-fragment paths without threading a flag through
-/// every experiment constructor.
-static DEFAULT_COALESCING: AtomicBool = AtomicBool::new(true);
-
-/// Set the process-wide coalescing default for fabrics built afterwards.
-pub fn set_default_coalescing(on: bool) {
-    DEFAULT_COALESCING.store(on, Ordering::SeqCst);
-}
-
-/// The current process-wide coalescing default.
-pub fn default_coalescing() -> bool {
-    DEFAULT_COALESCING.load(Ordering::SeqCst)
-}
-
-// Process-wide tally of coalescing work across `Fabric::run` calls, so
-// harnesses that build fabrics deep inside experiment constructors can still
-// report per-experiment coalescing ratios.
-static TRAINS_TALLY: AtomicU64 = AtomicU64::new(0);
-static FRAGS_TALLY: AtomicU64 = AtomicU64::new(0);
-static EVENTS_TALLY: AtomicU64 = AtomicU64::new(0);
-
-/// Reset the process-wide coalescing tally (call before an experiment).
-pub fn reset_coalescing_tally() {
-    TRAINS_TALLY.store(0, Ordering::SeqCst);
-    FRAGS_TALLY.store(0, Ordering::SeqCst);
-    EVENTS_TALLY.store(0, Ordering::SeqCst);
-}
-
-/// `(trains_emitted, fragments_coalesced, events_processed)` accumulated by
-/// every [`Fabric::run`] since the last [`reset_coalescing_tally`]. The
-/// coalescing ratio of the span is
-/// `fragments_coalesced / (events_processed + fragments_coalesced)` — the
-/// fraction of would-be hop events that rode inside a train instead.
-pub fn coalescing_tally() -> (u64, u64, u64) {
-    (
-        TRAINS_TALLY.load(Ordering::SeqCst),
-        FRAGS_TALLY.load(Ordering::SeqCst),
-        EVENTS_TALLY.load(Ordering::SeqCst),
-    )
-}
 
 /// How `Fabric::run` chooses between the serial and the partitioned engine.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -76,31 +33,57 @@ pub enum PartitionMode {
     Force = 2,
 }
 
-/// 255 = uninitialized sentinel: first read consults `IBWAN_SERIAL`.
-static PARTITION_MODE: AtomicU8 = AtomicU8::new(255);
-
-/// Set the process-wide engine choice for subsequent `Fabric::run` calls.
-pub fn set_partition_mode(mode: PartitionMode) {
-    PARTITION_MODE.store(mode as u8, Ordering::SeqCst);
+/// Engine execution knobs carried by every fabric, set at build time and
+/// immutable afterwards. This replaces the old process-global
+/// `set_default_coalescing`/`set_partition_mode` setters: harnesses thread a
+/// profile (usually derived from `ibwan_core`'s `RunConfig`) down through
+/// the experiment constructors instead of mutating statics. Both knobs are
+/// A/B-invisible in every virtual-time observable — enforced by the
+/// determinism suites — so a profile only changes wall-clock behaviour.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// Fragment-train coalescing on the wire path (topology safety checks
+    /// still apply; see [`FabricBuilder::finish`]).
+    pub coalescing: bool,
+    /// Serial vs partitioned engine choice for [`Fabric::run`].
+    pub partition: PartitionMode,
 }
 
-/// The current process-wide engine choice. On first read, `IBWAN_SERIAL=1`
-/// in the environment selects [`PartitionMode::Off`] (the env-var twin of
-/// `repro --serial`, for harnesses that can't pass flags through).
-pub fn partition_mode() -> PartitionMode {
-    match PARTITION_MODE.load(Ordering::SeqCst) {
-        255 => {
-            let mode = if std::env::var_os("IBWAN_SERIAL").is_some_and(|v| v == "1") {
-                PartitionMode::Off
-            } else {
-                PartitionMode::Auto
-            };
-            PARTITION_MODE.store(mode as u8, Ordering::SeqCst);
-            mode
+impl Default for EngineProfile {
+    fn default() -> Self {
+        EngineProfile {
+            coalescing: true,
+            partition: PartitionMode::Auto,
         }
-        1 => PartitionMode::Off,
-        2 => PartitionMode::Force,
-        _ => PartitionMode::Auto,
+    }
+}
+
+impl EngineProfile {
+    /// The default profile with the partitioned engine pinned off
+    /// (`repro --serial`).
+    pub fn serial() -> Self {
+        EngineProfile {
+            partition: PartitionMode::Off,
+            ..EngineProfile::default()
+        }
+    }
+
+    /// The default profile with partitioning forced wherever a domain plan
+    /// exists (A/B harnesses, the perf parallel column).
+    pub fn forced() -> Self {
+        EngineProfile {
+            partition: PartitionMode::Force,
+            ..EngineProfile::default()
+        }
+    }
+
+    /// The default profile with the per-fragment wire path
+    /// (`repro --no-coalescing`).
+    pub fn no_coalescing() -> Self {
+        EngineProfile {
+            coalescing: false,
+            ..EngineProfile::default()
+        }
     }
 }
 
@@ -110,28 +93,20 @@ pub fn partition_mode() -> PartitionMode {
 /// 1–10 ms anyway).
 pub const AUTO_MIN_LOOKAHEAD: Dur = Dur::from_us(100);
 
-// Process-wide tally of partitioned-engine work across `Fabric::run` calls,
-// mirroring the coalescing tally: experiment constructors bury their fabrics,
-// so the perf harness reads per-experiment partition stats from here.
+/// Events dispatched per domain index are folded into this many slots.
 const DOMAIN_TALLY_SLOTS: usize = 8;
-static PARTITIONED_RUNS_TALLY: AtomicU64 = AtomicU64::new(0);
-static SERIAL_RUNS_TALLY: AtomicU64 = AtomicU64::new(0);
-static SYNC_ROUNDS_TALLY: AtomicU64 = AtomicU64::new(0);
-static DOMAINS_MAX_TALLY: AtomicU64 = AtomicU64::new(0);
-static DOMAIN_EVENTS_TALLY: [AtomicU64; DOMAIN_TALLY_SLOTS] = [
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-];
 
-/// Partition work accumulated since the last [`reset_partition_tally`].
+/// Engine work accumulated by every [`Fabric::run`] on the current thread
+/// since the last [`reset_run_tally`]. Experiment constructors bury their
+/// fabrics, so harnesses (the provenance-stamping runner, `perf`) read
+/// per-experiment engine stats from here. The tally is **thread-local**:
+/// sweep workers each accumulate their own and `sweep::parallel_map` merges
+/// them back into the calling thread, so concurrent experiments never bleed
+/// counters into each other the way the old process-wide atomics did.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct PartitionTally {
+pub struct RunTally {
+    /// Summed engine-counter deltas across runs (`peak_queue_len` is a max).
+    pub counters: EngineCounters,
     /// `Fabric::run` calls that executed partitioned.
     pub partitioned_runs: u64,
     /// `Fabric::run` calls that executed serially.
@@ -141,45 +116,77 @@ pub struct PartitionTally {
     /// Widest split seen (0 when everything ran serially).
     pub max_domains: u64,
     /// Events dispatched per domain index (capped at 8 slots; wider splits
-    /// fold into the last slot).
+    /// fold into the last slot), trimmed to the widest split observed.
     pub events_per_domain: Vec<u64>,
 }
 
-/// Reset the process-wide partition tally (call before an experiment).
-pub fn reset_partition_tally() {
-    PARTITIONED_RUNS_TALLY.store(0, Ordering::SeqCst);
-    SERIAL_RUNS_TALLY.store(0, Ordering::SeqCst);
-    SYNC_ROUNDS_TALLY.store(0, Ordering::SeqCst);
-    DOMAINS_MAX_TALLY.store(0, Ordering::SeqCst);
-    for slot in &DOMAIN_EVENTS_TALLY {
-        slot.store(0, Ordering::SeqCst);
+impl RunTally {
+    /// Fold another tally (e.g. a sweep worker's) into this one.
+    pub fn merge(&mut self, other: &RunTally) {
+        self.counters += other.counters;
+        self.partitioned_runs += other.partitioned_runs;
+        self.serial_runs += other.serial_runs;
+        self.sync_rounds += other.sync_rounds;
+        self.max_domains = self.max_domains.max(other.max_domains);
+        if self.events_per_domain.len() < other.events_per_domain.len() {
+            self.events_per_domain
+                .resize(other.events_per_domain.len(), 0);
+        }
+        for (slot, &events) in other.events_per_domain.iter().enumerate() {
+            self.events_per_domain[slot] += events;
+        }
+    }
+
+    /// Fraction of would-be hop events that rode inside a train instead:
+    /// `fragments_coalesced / (events_processed + fragments_coalesced)`.
+    pub fn coalescing_ratio(&self) -> f64 {
+        let c = &self.counters;
+        let total = c.events_processed + c.fragments_coalesced;
+        if total == 0 {
+            0.0
+        } else {
+            c.fragments_coalesced as f64 / total as f64
+        }
     }
 }
 
-/// Partition stats accumulated by every [`Fabric::run`] since the last
-/// [`reset_partition_tally`]. `events_per_domain` is trimmed to the widest
-/// split observed.
-pub fn partition_tally() -> PartitionTally {
-    let max_domains = DOMAINS_MAX_TALLY.load(Ordering::SeqCst);
-    let slots = (max_domains as usize).min(DOMAIN_TALLY_SLOTS);
-    PartitionTally {
-        partitioned_runs: PARTITIONED_RUNS_TALLY.load(Ordering::SeqCst),
-        serial_runs: SERIAL_RUNS_TALLY.load(Ordering::SeqCst),
-        sync_rounds: SYNC_ROUNDS_TALLY.load(Ordering::SeqCst),
-        max_domains,
-        events_per_domain: DOMAIN_EVENTS_TALLY[..slots]
-            .iter()
-            .map(|slot| slot.load(Ordering::SeqCst))
-            .collect(),
-    }
+thread_local! {
+    static RUN_TALLY: RefCell<RunTally> = RefCell::new(RunTally::default());
 }
 
-fn record_partition_tally(report: &DomainReport) {
-    PARTITIONED_RUNS_TALLY.fetch_add(1, Ordering::SeqCst);
-    SYNC_ROUNDS_TALLY.fetch_add(report.sync_rounds, Ordering::SeqCst);
-    DOMAINS_MAX_TALLY.fetch_max(report.domains as u64, Ordering::SeqCst);
-    for (d, &events) in report.events_per_domain.iter().enumerate() {
-        DOMAIN_EVENTS_TALLY[d.min(DOMAIN_TALLY_SLOTS - 1)].fetch_add(events, Ordering::SeqCst);
+/// Reset the current thread's run tally (call before an experiment).
+pub fn reset_run_tally() {
+    RUN_TALLY.with(|t| *t.borrow_mut() = RunTally::default());
+}
+
+/// Take the current thread's run tally, leaving it reset.
+pub fn take_run_tally() -> RunTally {
+    RUN_TALLY.with(|t| std::mem::take(&mut *t.borrow_mut()))
+}
+
+/// A snapshot of the current thread's run tally.
+pub fn run_tally() -> RunTally {
+    RUN_TALLY.with(|t| t.borrow().clone())
+}
+
+/// Fold a tally captured on another thread (a finished sweep worker) into
+/// the current thread's tally.
+pub fn merge_run_tally(other: &RunTally) {
+    RUN_TALLY.with(|t| t.borrow_mut().merge(other));
+}
+
+/// Per-run engine-counter delta: monotonic fields subtract; the queue
+/// high-water mark is not differentiable, so the run inherits the engine's
+/// lifetime peak.
+fn counters_delta(after: &EngineCounters, before: &EngineCounters) -> EngineCounters {
+    EngineCounters {
+        events_processed: after.events_processed - before.events_processed,
+        events_allocated: after.events_allocated - before.events_allocated,
+        pool_hits: after.pool_hits - before.pool_hits,
+        peak_queue_len: after.peak_queue_len,
+        timers_cancelled: after.timers_cancelled - before.timers_cancelled,
+        trains_emitted: after.trains_emitted - before.trains_emitted,
+        fragments_coalesced: after.fragments_coalesced - before.fragments_coalesced,
     }
 }
 
@@ -244,13 +251,20 @@ pub struct FabricBuilder {
     ports_used: Vec<usize>,
     next_lid: u16,
     nodes: Vec<NodeHandle>,
-    coalescing: bool,
+    profile: EngineProfile,
     partitioning: bool,
 }
 
 impl FabricBuilder {
-    /// Start building with a deterministic seed.
+    /// Start building with a deterministic seed and the default
+    /// [`EngineProfile`] (coalescing on, auto partitioning).
     pub fn new(seed: u64) -> Self {
+        FabricBuilder::with_profile(seed, EngineProfile::default())
+    }
+
+    /// Start building with a deterministic seed and an explicit engine
+    /// profile — the entry point for `RunConfig`-threaded harnesses.
+    pub fn with_profile(seed: u64, profile: EngineProfile) -> Self {
         FabricBuilder {
             engine: Engine::new(seed),
             kinds: Vec::new(),
@@ -260,22 +274,22 @@ impl FabricBuilder {
             ports_used: Vec::new(),
             next_lid: 1,
             nodes: Vec::new(),
-            coalescing: default_coalescing(),
+            profile,
             partitioning: true,
         }
     }
 
     /// Explicitly enable/disable fragment-train coalescing for this fabric
-    /// (overrides the process default; topology safety checks still apply).
+    /// (overrides the profile; topology safety checks still apply).
     pub fn set_coalescing(&mut self, on: bool) {
-        self.coalescing = on;
+        self.profile.coalescing = on;
     }
 
     /// Force the per-fragment path for this fabric — used by components that
     /// introduce per-fragment divergence trains cannot express (e.g. random
     /// per-fragment loss injection).
     pub fn disable_coalescing(&mut self) {
-        self.coalescing = false;
+        self.profile.coalescing = false;
     }
 
     /// Force serial execution for this fabric — used by components whose
@@ -418,7 +432,7 @@ impl FabricBuilder {
             .enumerate()
             .filter(|(_, k)| matches!(k, Kind::Switch))
             .all(|(id, _)| self.ports_used[id] <= 2);
-        let coalesce = self.coalescing && safe;
+        let coalesce = self.profile.coalescing && safe;
         for &NodeHandle { actor, .. } in &self.nodes {
             self.engine
                 .actor_mut::<HcaActor>(actor)
@@ -444,6 +458,7 @@ impl FabricBuilder {
             nodes: self.nodes,
             switches,
             plan,
+            partition: self.profile.partition,
             last_domain_report: None,
         }
     }
@@ -539,6 +554,9 @@ pub struct Fabric {
     switches: Vec<ActorId>,
     /// Domain split derived at build time; `None` → always serial.
     plan: Option<DomainSpec>,
+    /// Serial vs partitioned engine choice, fixed at build time from the
+    /// builder's [`EngineProfile`].
+    partition: PartitionMode,
     /// Stats from the most recent partitioned [`Fabric::run`] (cleared by a
     /// serial run).
     last_domain_report: Option<DomainReport>,
@@ -571,13 +589,13 @@ impl Fabric {
     }
 
     /// Whether `run` would take the partitioned path right now, given the
-    /// plan, the process-wide [`partition_mode`], and (in auto mode) the
-    /// lookahead width and spare-core budget.
+    /// plan, the fabric's build-time [`PartitionMode`], and (in auto mode)
+    /// the lookahead width and spare-core budget.
     fn should_partition(&self) -> bool {
         let Some(plan) = self.plan.as_ref() else {
             return false;
         };
-        match partition_mode() {
+        match self.partition {
             PartitionMode::Off => false,
             PartitionMode::Force => self.engine.trace().is_none(),
             PartitionMode::Auto => {
@@ -607,27 +625,31 @@ impl Fabric {
         let t = if self.should_partition() {
             let plan = self.plan.as_ref().expect("should_partition checked plan");
             let report = domain::run_partitioned(&mut self.engine, plan);
-            record_partition_tally(&report);
+            RUN_TALLY.with(|tally| {
+                let mut tally = tally.borrow_mut();
+                tally.partitioned_runs += 1;
+                tally.sync_rounds += report.sync_rounds;
+                tally.max_domains = tally.max_domains.max(report.domains as u64);
+                let slots = report.events_per_domain.len().min(DOMAIN_TALLY_SLOTS);
+                if tally.events_per_domain.len() < slots {
+                    tally.events_per_domain.resize(slots, 0);
+                }
+                for (d, &events) in report.events_per_domain.iter().enumerate() {
+                    tally.events_per_domain[d.min(DOMAIN_TALLY_SLOTS - 1)] += events;
+                }
+            });
             self.last_domain_report = Some(report);
             self.engine.now()
         } else {
-            SERIAL_RUNS_TALLY.fetch_add(1, Ordering::SeqCst);
+            RUN_TALLY.with(|tally| tally.borrow_mut().serial_runs += 1);
             self.last_domain_report = None;
             self.engine.run()
         };
         let after = self.engine.counters();
-        TRAINS_TALLY.fetch_add(
-            after.trains_emitted - before.trains_emitted,
-            Ordering::SeqCst,
-        );
-        FRAGS_TALLY.fetch_add(
-            after.fragments_coalesced - before.fragments_coalesced,
-            Ordering::SeqCst,
-        );
-        EVENTS_TALLY.fetch_add(
-            after.events_processed - before.events_processed,
-            Ordering::SeqCst,
-        );
+        RUN_TALLY.with(|tally| {
+            let delta = counters_delta(&after, &before);
+            tally.borrow_mut().counters += delta;
+        });
         t
     }
 

@@ -3,7 +3,7 @@
 
 use crate::proto::{MpiConfig, P2p, TOKEN_COPY, TOKEN_FLUSH};
 use crate::script::{Op, ScriptRunner, TOKEN_COMPUTE};
-use ibfabric::fabric::{Fabric, FabricBuilder, NodeHandle};
+use ibfabric::fabric::{EngineProfile, Fabric, FabricBuilder, NodeHandle};
 use ibfabric::hca::{HcaConfig, HcaCore};
 use ibfabric::link::LinkConfig;
 use ibfabric::perftest::rc_qp_pair;
@@ -87,6 +87,8 @@ pub struct JobSpec {
     pub hca: HcaConfig,
     /// Engine seed.
     pub seed: u64,
+    /// Engine execution profile (coalescing, partition mode).
+    pub profile: EngineProfile,
 }
 
 impl JobSpec {
@@ -99,6 +101,7 @@ impl JobSpec {
             mpi: MpiConfig::default(),
             hca: HcaConfig::default(),
             seed: 42,
+            profile: EngineProfile::default(),
         }
     }
 
@@ -110,6 +113,18 @@ impl JobSpec {
     /// Replace the MPI configuration.
     pub fn with_mpi(mut self, mpi: MpiConfig) -> Self {
         self.mpi = mpi;
+        self
+    }
+
+    /// Replace the engine execution profile.
+    pub fn with_profile(mut self, profile: EngineProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Replace the engine seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 }
@@ -128,7 +143,7 @@ impl MpiJob {
     pub fn build<F: Fn(usize, usize) -> Vec<Op>>(spec: JobSpec, program: F) -> Self {
         let n = spec.nranks();
         assert!(n >= 1, "need at least one rank");
-        let mut b = FabricBuilder::new(spec.seed);
+        let mut b = FabricBuilder::with_profile(spec.seed, spec.profile);
         let mut nodes = Vec::with_capacity(n);
         for rank in 0..n {
             let ops = program(rank, n);

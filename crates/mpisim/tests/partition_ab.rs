@@ -1,40 +1,26 @@
 //! Serial-vs-partitioned A/B for the MPI stack: the domain engine must be
 //! invisible in every result, across the paper's full delay sweep (the d=0
 //! point has the narrowest lookahead and stresses the window protocol most).
+//!
+//! The engine choice rides on each `JobSpec`'s [`EngineProfile`] — no
+//! process-global mode, so the A/B legs cannot interfere with each other or
+//! with concurrently running tests.
 
-use ibfabric::fabric::{partition_mode, set_partition_mode, PartitionMode};
+use ibfabric::fabric::EngineProfile;
 use mpisim::bench::{osu_bw, wan_pair_with};
 use mpisim::proto::MpiConfig;
 use simcore::Dur;
 
-/// Restore the previous partition mode on drop (panic-safe).
-struct ModeGuard(PartitionMode);
-
-impl ModeGuard {
-    fn set(mode: PartitionMode) -> Self {
-        let prev = partition_mode();
-        set_partition_mode(mode);
-        ModeGuard(prev)
-    }
-}
-
-impl Drop for ModeGuard {
-    fn drop(&mut self) {
-        set_partition_mode(self.0);
-    }
-}
-
-fn bw(delay_us: u64, size: u32, mode: PartitionMode) -> f64 {
-    let _m = ModeGuard::set(mode);
-    let spec = wan_pair_with(Dur::from_us(delay_us), MpiConfig::default());
+fn bw(delay_us: u64, size: u32, profile: EngineProfile) -> f64 {
+    let spec = wan_pair_with(Dur::from_us(delay_us), MpiConfig::default()).with_profile(profile);
     osu_bw(spec, size, 8, 2)
 }
 
 #[test]
 fn osu_bw_matches_serial_across_delays() {
     for d in [0, 10, 100, 1000, 10000] {
-        let serial = bw(d, 4096, PartitionMode::Off);
-        let partitioned = bw(d, 4096, PartitionMode::Force);
+        let serial = bw(d, 4096, EngineProfile::serial());
+        let partitioned = bw(d, 4096, EngineProfile::forced());
         assert_eq!(serial, partitioned, "osu_bw diverged at {d}us delay");
     }
 }
@@ -47,12 +33,11 @@ fn osu_bw_rendezvous_sizes_match_serial() {
         (10000, 1 << 20, 8),
         (10000, 4 << 20, 2),
     ] {
-        let _m = ModeGuard::set(PartitionMode::Off);
-        let spec = wan_pair_with(Dur::from_us(d), MpiConfig::default());
+        let spec = wan_pair_with(Dur::from_us(d), MpiConfig::default())
+            .with_profile(EngineProfile::serial());
         let serial = osu_bw(spec, size, window, 3);
-        drop(_m);
-        let _m = ModeGuard::set(PartitionMode::Force);
-        let spec = wan_pair_with(Dur::from_us(d), MpiConfig::default());
+        let spec = wan_pair_with(Dur::from_us(d), MpiConfig::default())
+            .with_profile(EngineProfile::forced());
         let partitioned = osu_bw(spec, size, window, 3);
         assert_eq!(serial, partitioned, "osu_bw diverged at {d}us/{size}B");
     }

@@ -302,12 +302,19 @@ pub struct NasResult {
 }
 
 /// Run `bench` on `ranks_a + ranks_b` ranks across the WAN with the given
-/// one-way delay.
+/// one-way delay, using the default job spec (seed 42, default engine
+/// profile).
 pub fn run(bench: NasBenchmark, ranks_a: usize, ranks_b: usize, delay: Dur) -> NasResult {
-    let spec = JobSpec::two_clusters(ranks_a, ranks_b, delay);
+    run_spec(bench, JobSpec::two_clusters(ranks_a, ranks_b, delay))
+}
+
+/// Run `bench` on an explicit [`JobSpec`] — callers threading a run context
+/// set the spec's seed and engine profile before passing it in.
+pub fn run_spec(bench: NasBenchmark, spec: JobSpec) -> NasResult {
+    let delay = spec.delay;
+    let n = spec.nranks();
     let mut job = MpiJob::build(spec, |rank, n| program(bench, rank, n));
     job.run();
-    let n = ranks_a + ranks_b;
     let t0 = (0..n)
         .map(|r| job.process(r).runner.mark(0).unwrap())
         .min()

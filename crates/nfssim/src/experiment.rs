@@ -2,7 +2,7 @@
 
 use crate::client::{NfsClient, NfsClientConfig};
 use crate::server::{NfsServer, NfsServerConfig};
-use ibfabric::fabric::FabricBuilder;
+use ibfabric::fabric::{EngineProfile, FabricBuilder};
 use ibfabric::hca::HcaConfig;
 use ibfabric::link::LinkConfig;
 use ibfabric::qp::QpConfig;
@@ -53,6 +53,10 @@ pub struct NfsSetup {
     /// True to run the IOzone write test instead of read (the paper omits
     /// its write numbers for space; we report them).
     pub write: bool,
+    /// Engine execution profile (coalescing, partition mode).
+    pub profile: EngineProfile,
+    /// Engine seed.
+    pub seed: u64,
 }
 
 impl NfsSetup {
@@ -65,6 +69,8 @@ impl NfsSetup {
             record_size: 256 << 10,
             delay,
             write: false,
+            profile: EngineProfile::default(),
+            seed: 17,
         }
     }
 
@@ -78,6 +84,8 @@ impl NfsSetup {
             record_size: 256 << 10,
             delay,
             write: false,
+            profile: EngineProfile::default(),
+            seed: 17,
         }
     }
 }
@@ -131,7 +139,7 @@ pub fn run_read_experiment(setup: NfsSetup) -> NfsThroughput {
         }
     };
 
-    let mut b = FabricBuilder::new(17);
+    let mut b = FabricBuilder::with_profile(setup.seed, setup.profile);
     let server = b.add_hca(HcaConfig::default(), server_ulp);
     let client = b.add_hca(HcaConfig::default(), client_ulp);
     match setup.delay {

@@ -327,7 +327,23 @@ mod tests {
         ulp_a: Box<dyn ibfabric::Ulp>,
         ulp_b: Box<dyn ibfabric::Ulp>,
     ) -> (ibfabric::Fabric, ibfabric::NodeHandle, ibfabric::NodeHandle) {
-        let mut b = FabricBuilder::new(11);
+        cluster_pair_with(
+            ibfabric::fabric::EngineProfile::default(),
+            delay,
+            ulp_a,
+            ulp_b,
+        )
+    }
+
+    /// [`cluster_pair`] with an explicit engine profile (A/B tests pin the
+    /// serial or forced-partitioned engine per fabric, no global state).
+    fn cluster_pair_with(
+        profile: ibfabric::fabric::EngineProfile,
+        delay: Dur,
+        ulp_a: Box<dyn ibfabric::Ulp>,
+        ulp_b: Box<dyn ibfabric::Ulp>,
+    ) -> (ibfabric::Fabric, ibfabric::NodeHandle, ibfabric::NodeHandle) {
+        let mut b = FabricBuilder::with_profile(11, profile);
         let n1 = b.add_hca(HcaConfig::default(), ulp_a);
         let n2 = b.add_hca(HcaConfig::default(), ulp_b);
         let sw_a = b.add_switch();
@@ -590,23 +606,13 @@ mod tests {
     /// serial engine must agree on every virtual-time observable.
     #[test]
     fn partitioned_run_matches_serial_bit_for_bit() {
-        use ibfabric::fabric::{partition_mode, set_partition_mode, PartitionMode};
-
-        /// Restores the process-wide mode even if the run panics, so one
-        /// failing A/B leg can't leak `Force` into unrelated tests.
-        struct ModeGuard(PartitionMode);
-        impl Drop for ModeGuard {
-            fn drop(&mut self) {
-                set_partition_mode(self.0);
-            }
-        }
+        use ibfabric::fabric::EngineProfile;
 
         fn run_mode(
-            mode: PartitionMode,
+            profile: EngineProfile,
         ) -> (f64, simcore::Time, ibfabric::fabric::FabricReport, bool) {
-            let _guard = ModeGuard(partition_mode());
-            set_partition_mode(mode);
-            let (mut f, a, b) = cluster_pair(
+            let (mut f, a, b) = cluster_pair_with(
+                profile,
                 Dur::from_us(200),
                 Box::new(PingPong::new(LatMode::SendRc, true, 256, 40)),
                 Box::new(PingPong::new(LatMode::SendRc, false, 256, 40)),
@@ -621,8 +627,8 @@ mod tests {
             (lat, end, report, partitioned)
         }
 
-        let (lat_s, end_s, rep_s, par_s) = run_mode(PartitionMode::Off);
-        let (lat_p, end_p, rep_p, par_p) = run_mode(PartitionMode::Force);
+        let (lat_s, end_s, rep_s, par_s) = run_mode(EngineProfile::serial());
+        let (lat_p, end_p, rep_p, par_p) = run_mode(EngineProfile::forced());
         assert!(!par_s, "Off must run serially");
         assert!(par_p, "Force with a plan must partition");
         assert!(rep_p.domains == 2 && rep_p.sync_rounds > 0);

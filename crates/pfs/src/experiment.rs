@@ -3,7 +3,7 @@
 
 use crate::client::{PfsClient, PfsClientConfig};
 use crate::server::{MdsServer, OssServer, OssServerConfig};
-use ibfabric::fabric::FabricBuilder;
+use ibfabric::fabric::{EngineProfile, FabricBuilder};
 use ibfabric::hca::HcaConfig;
 use ibfabric::link::LinkConfig;
 use ibfabric::perftest::rc_qp_pair;
@@ -27,6 +27,10 @@ pub struct PfsSetup {
     pub rpcs_in_flight: usize,
     /// One-way WAN delay; `None` puts the client inside the storage cluster.
     pub delay: Option<Dur>,
+    /// Engine execution profile (coalescing, partition mode).
+    pub profile: EngineProfile,
+    /// Engine seed.
+    pub seed: u64,
 }
 
 impl PfsSetup {
@@ -38,6 +42,8 @@ impl PfsSetup {
             file_size: 64 << 20,
             rpcs_in_flight: 2,
             delay,
+            profile: EngineProfile::default(),
+            seed: 67,
         }
     }
 }
@@ -63,7 +69,7 @@ pub fn run_striped_read(setup: PfsSetup) -> PfsThroughput {
         rpcs_in_flight: setup.rpcs_in_flight,
     };
 
-    let mut b = FabricBuilder::new(67);
+    let mut b = FabricBuilder::with_profile(setup.seed, setup.profile);
     let client = b.add_hca(HcaConfig::default(), Box::new(PfsClient::new(client_cfg)));
     let mds = b.add_hca(
         HcaConfig::default(),

@@ -4,11 +4,11 @@
 //! Run with: `cargo run --release --example calibration_report`
 
 use ibwan_repro::ibwan_core::calibration::{render, run_calibration};
-use ibwan_repro::ibwan_core::Fidelity;
+use ibwan_repro::ibwan_core::RunConfig;
 
 fn main() {
     println!("Calibration against the paper's stated numbers:\n");
-    let checks = run_calibration(Fidelity::Quick);
+    let checks = run_calibration(&RunConfig::default());
     println!("{}", render(&checks));
     let failures = checks.iter().filter(|c| !c.ok()).count();
     println!(

@@ -9,11 +9,13 @@
 use ibwan_repro::ibfabric::perftest::{rc_qp_pair, BwConfig, BwPeer};
 use ibwan_repro::ibfabric::qp::QpConfig;
 use ibwan_repro::ibwan_core::topology::wan_node_pair_lossy;
+use ibwan_repro::ibwan_core::RunConfig;
 use ibwan_repro::simcore::Dur;
 
 fn run(loss_ppm: u32) -> (f64, u64, u64, u64) {
     let iters = 2000;
     let (mut f, a, b) = wan_node_pair_lossy(
+        &RunConfig::default(),
         77,
         Dur::from_us(100), // 20 km
         loss_ppm,

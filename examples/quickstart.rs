@@ -6,13 +6,14 @@
 
 use ibwan_repro::ibfabric::perftest::{rc_qp_pair, BwConfig, BwPeer, LatMode, PingPong};
 use ibwan_repro::ibfabric::qp::QpConfig;
-use ibwan_repro::ibwan_core::wan_node_pair;
+use ibwan_repro::ibwan_core::{wan_node_pair, RunConfig};
 use ibwan_repro::obsidian::wire_delay_for_km;
 use ibwan_repro::simcore::Dur;
 
 fn latency_us(delay: Dur) -> f64 {
     // One node in each cluster, Longbow pair between them.
     let (mut fabric, a, b) = wan_node_pair(
+        &RunConfig::default(),
         1,
         delay,
         Box::new(PingPong::new(LatMode::SendRc, true, 4, 100)),
@@ -28,6 +29,7 @@ fn latency_us(delay: Dur) -> f64 {
 fn rc_bandwidth(delay: Dur, size: u32) -> f64 {
     let iters = (32 << 20) / size as u64;
     let (mut fabric, a, b) = wan_node_pair(
+        &RunConfig::default(),
         2,
         delay,
         Box::new(BwPeer::sender(BwConfig::new(size, iters))),

@@ -6,6 +6,7 @@
 //! Run with: `cargo run --release --example tcp_rampup`
 
 use ibwan_repro::ibwan_core::wan_node_pair;
+use ibwan_repro::ibwan_core::RunConfig;
 use ibwan_repro::ipoib::node::{IpoibConfig, IpoibNode};
 use ibwan_repro::simcore::Dur;
 use ibwan_repro::tcpstack::TcpConfig;
@@ -18,7 +19,7 @@ fn main() {
     let mut rx = Box::new(IpoibNode::receiver(cfg, tcp, 1, 24 << 20));
     rx.enable_sampling(Dur::from_ms(2)); // one bucket per RTT
 
-    let (mut f, a, b) = wan_node_pair(3, delay, tx, rx);
+    let (mut f, a, b) = wan_node_pair(&RunConfig::default(), 3, delay, tx, rx);
     let qa = f.hca_mut(a).core_mut().create_qp(cfg.qp_config());
     let qb = f.hca_mut(b).core_mut().create_qp(cfg.qp_config());
     {

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example wan_planner`
 
 use ibwan_repro::ibwan_core::planner;
-use ibwan_repro::ibwan_core::Fidelity;
+use ibwan_repro::ibwan_core::RunConfig;
 use ibwan_repro::ipoib::node::IpoibConfig;
 use ibwan_repro::obsidian::wire_delay_for_km;
 use ibwan_repro::simcore::Rate;
@@ -23,11 +23,11 @@ fn main() {
     let delay = wire_delay_for_km(200);
     let window = planner::tcp_window_for(target, delay);
     let got = ibwan_repro::ibwan_core::ipoib_exp::run_ipoib_point(
+        &RunConfig::default(),
         IpoibConfig::ud(),
         window,
         1,
         delay.as_ns() / 1000,
-        Fidelity::Quick,
     );
     println!(
         "verification @200 km: planned window {window} B -> simulated {got:.0} MB/s \

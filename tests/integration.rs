@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: drive the public API end-to-end and check
 //! the paper's headline claims hold through the full stack.
 
-use ibwan_repro::ibwan_core::{self, Fidelity};
+use ibwan_repro::ibwan_core;
 use ibwan_repro::mpisim::bench::{osu_bw, osu_latency, wan_pair_with};
 use ibwan_repro::mpisim::proto::MpiConfig;
 use ibwan_repro::mpisim::world::JobSpec;
@@ -122,7 +122,7 @@ fn simulations_are_deterministic() {
 
 #[test]
 fn figures_carry_all_series() {
-    let f6 = ibwan_core::ipoib_exp::fig6_ipoib_ud(false, Fidelity::Quick);
+    let f6 = ibwan_core::ipoib_exp::fig6_ipoib_ud(&ibwan_core::RunConfig::default(), false);
     assert_eq!(f6.series.len(), 4); // four window sizes
     for s in &f6.series {
         assert_eq!(s.points.len(), 5); // five delays

@@ -16,6 +16,7 @@ use ibwan_repro::ibfabric::ulp::Ulp;
 use ibwan_repro::ibfabric::verbs::{Completion, RecvWr, SendWr};
 use ibwan_repro::ibfabric::{Fabric, NodeHandle};
 use ibwan_repro::ibwan_core::topology::{wan_node_pair, wan_node_pair_lossy};
+use ibwan_repro::ibwan_core::RunConfig;
 use ibwan_repro::ipoib::node::{IpoibConfig, IpoibMode, IpoibNode};
 use ibwan_repro::mpisim::coll;
 use ibwan_repro::mpisim::script::Op;
@@ -83,6 +84,7 @@ impl Ulp for IntegrityReceiver {
 
 fn integrity_fabric(sizes: &[u32], delay_us: u64) -> (Fabric, NodeHandle, NodeHandle) {
     let (mut f, a, b) = wan_node_pair(
+        &RunConfig::default(),
         9,
         Dur::from_us(delay_us),
         Box::new(IntegritySender {
@@ -155,7 +157,8 @@ fn tcp_over_ipoib_delivers_exact_byte_counts() {
         let tcp = TcpConfig::for_mtu(cfg.mtu).with_window(window_kb << 10);
         let tx = Box::new(IpoibNode::sender(cfg, tcp, streams, total));
         let rx = Box::new(IpoibNode::receiver(cfg, tcp, streams, total));
-        let (mut f, a, b) = wan_node_pair(13, Dur::from_us(delay_us), tx, rx);
+        let (mut f, a, b) =
+            wan_node_pair(&RunConfig::default(), 13, Dur::from_us(delay_us), tx, rx);
         let qa = f.hca_mut(a).core_mut().create_qp(cfg.qp_config());
         let qb = f.hca_mut(b).core_mut().create_qp(cfg.qp_config());
         if cfg.mode == IpoibMode::Rc {
@@ -220,6 +223,7 @@ fn rc_is_reliable_under_wan_loss() {
             let count = 1 + (splitmix(seed ^ 0x10F) % 9) as usize;
             let sizes = random_sizes(seed ^ 0xBEEF, count, 8_000);
             let (mut f, a, b) = wan_node_pair_lossy(
+                &RunConfig::default(),
                 seed,
                 Dur::from_us(100),
                 loss_ppm,
@@ -332,7 +336,8 @@ fn sdp_delivers_exact_bytes() {
     for &(msg_size, count, delay_us) in cases {
         let tx = Box::new(SdpNode::sender(SdpConfig::default(), msg_size, count));
         let rx = Box::new(SdpNode::receiver(SdpConfig::default()));
-        let (mut f, a, b) = wan_node_pair(21, Dur::from_us(delay_us), tx, rx);
+        let (mut f, a, b) =
+            wan_node_pair(&RunConfig::default(), 21, Dur::from_us(delay_us), tx, rx);
         let (qa, qb) = rc_qp_pair(&mut f, a, b, QpConfig::rc());
         f.hca_mut(a).ulp_mut::<SdpNode>().socket.qpn = qa;
         f.hca_mut(b).ulp_mut::<SdpNode>().socket.qpn = qb;
