@@ -31,6 +31,18 @@ echo "==> perf smoke (Quick subset + counters, gated against the checked-in base
 cargo run --release -p bench --bin perf -- --quick --json /tmp/BENCH_smoke.json \
     --baseline BENCH_engine.json
 
+# The parallel-win gate needs real cores: on a 1-core box the forced domain
+# threads time-share one CPU, so the assertion would measure the scheduler,
+# not the engine. (`perf` also self-skips below 2 cores; the guard here keeps
+# the CI log honest about why nothing was asserted.)
+if [ "$(nproc)" -ge 2 ]; then
+    echo "==> parallel-win gate (partitioned subset must not lose to serial)"
+    cargo run --release -p bench --bin perf -- --quick --json /tmp/BENCH_parallel.json \
+        --assert-parallel 1.0
+else
+    echo "==> parallel-win gate skipped ($(nproc) core)"
+fi
+
 echo "==> clippy (whole workspace, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 

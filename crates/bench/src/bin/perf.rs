@@ -5,7 +5,7 @@
 //! perf trajectory against the previous baseline.
 //!
 //! ```text
-//! perf [--quick] [--json PATH] [--baseline PATH] [--repeat N]
+//! perf [--quick] [--json PATH] [--baseline PATH] [--repeat N] [--assert-parallel MIN]
 //!
 //!   --quick          time only the Quick-fidelity subset (CI smoke)
 //!   --json PATH      write the result document (default BENCH_engine.json)
@@ -14,6 +14,11 @@
 //!                    computed, and the run exits nonzero if any subset
 //!                    entry regresses >10% (plus 50 ms absolute slack)
 //!   --repeat N       median-of-N timing per experiment (default 3 quick / 1 full)
+//!   --assert-parallel MIN
+//!                    exit nonzero unless every partitioned subset entry
+//!                    reaches `parallel_speedup >= MIN`; skips cleanly (with
+//!                    a message) when fewer than 2 cores are available, so
+//!                    CI can invoke it unconditionally
 //! ```
 //!
 //! Every experiment is timed twice through [`ibwan_core::runner::run_one`]:
@@ -51,8 +56,13 @@ struct Timing {
     parallel_speedup: f64,
     /// Widest domain split the forced run produced (0 = no plan, ran serial).
     domains: u64,
-    /// Window-synchronization rounds across one forced run.
+    /// Blocking window-synchronization rounds across one forced run.
     sync_rounds: u64,
+    /// Windows advanced without blocking on a neighbor (batched-horizon
+    /// wins) across one forced run.
+    sync_rounds_saved: u64,
+    /// Nanoseconds domain threads spent parked at window barriers.
+    barrier_ns: u64,
     /// Events dispatched per domain index in one forced run.
     events_per_domain: Vec<u64>,
     /// Coalescing tally for one run of this experiment (deterministic, so
@@ -64,9 +74,12 @@ struct Timing {
     coalescing_ratio: f64,
 }
 
+const USAGE: &str =
+    "usage: perf [--quick] [--json PATH] [--baseline PATH] [--repeat N] [--assert-parallel MIN]";
+
 fn bad_usage(msg: &str) -> ! {
     eprintln!("perf: {msg}");
-    eprintln!("usage: perf [--quick] [--json PATH] [--baseline PATH] [--repeat N]");
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
@@ -75,6 +88,7 @@ fn main() {
     let mut json_path = "BENCH_engine.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut repeat: Option<usize> = None;
+    let mut assert_parallel: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -99,8 +113,20 @@ fn main() {
                         .unwrap_or_else(|_| bad_usage("--repeat needs an integer")),
                 );
             }
+            "--assert-parallel" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| bad_usage("--assert-parallel needs a minimum speedup"));
+                let min: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| bad_usage("--assert-parallel needs a number"));
+                if !min.is_finite() || min <= 0.0 {
+                    bad_usage("--assert-parallel needs a positive speedup");
+                }
+                assert_parallel = Some(min);
+            }
             "--help" | "-h" => {
-                println!("usage: perf [--quick] [--json PATH] [--baseline PATH] [--repeat N]");
+                println!("{USAGE}");
                 return;
             }
             other => bad_usage(&format!("unknown argument {other:?}")),
@@ -181,10 +207,13 @@ fn main() {
             eprintln!(
                 "{:8} {fidelity:?}: serial {secs:.3}s, parallel {secs_parallel:.3}s \
                  ({parallel_speedup:.2}x, median of {reps}), domains={} \
-                 sync_rounds={}, coalescing {:.1}% ({trains} trains, {frags} frags)",
+                 sync_rounds={} (saved {}, {:.1} ms parked), \
+                 coalescing {:.1}% ({trains} trains, {frags} frags)",
                 e.id,
                 parts.max_domains,
                 parts.sync_rounds,
+                parts.counters.sync_rounds_saved,
+                parts.counters.barrier_ns as f64 / 1e6,
                 ratio * 100.0
             );
             timings.push(Timing {
@@ -195,6 +224,8 @@ fn main() {
                 parallel_speedup,
                 domains: parts.max_domains,
                 sync_rounds: parts.sync_rounds,
+                sync_rounds_saved: parts.counters.sync_rounds_saved,
+                barrier_ns: parts.counters.barrier_ns,
                 events_per_domain: parts.events_per_domain,
                 trains_emitted: trains,
                 fragments_coalesced: frags,
@@ -272,6 +303,8 @@ fn main() {
                 ("parallel_speedup", Value::Num(t.parallel_speedup)),
                 ("domains", Value::from(t.domains)),
                 ("sync_rounds", Value::from(t.sync_rounds)),
+                ("sync_rounds_saved", Value::from(t.sync_rounds_saved)),
+                ("barrier_ns", Value::from(t.barrier_ns)),
                 (
                     "events_per_domain",
                     Value::Arr(
@@ -328,6 +361,51 @@ fn main() {
         }
         std::process::exit(1);
     }
+
+    if let Some(min) = assert_parallel {
+        assert_parallel_gate(&timings, min);
+    }
+}
+
+/// `--assert-parallel` gate: every subset entry that actually partitioned
+/// must reach `parallel_speedup >= min`. With fewer than 2 cores free the
+/// forced run time-shares one CPU (or drops to the cooperative executor),
+/// so the assertion is skipped with a message rather than failed — CI can
+/// invoke the flag unconditionally.
+fn assert_parallel_gate(timings: &[Timing], min: f64) {
+    let budget = simcore::domain::spawn_budget();
+    if budget < 2 {
+        eprintln!(
+            "--assert-parallel {min}: skipped (thread budget {budget} < 2; \
+             domain threads would time-share one core)"
+        );
+        return;
+    }
+    let partitioned: Vec<_> = timings.iter().filter(|t| t.domains >= 2).collect();
+    if partitioned.is_empty() {
+        eprintln!("--assert-parallel {min}: FAILED — no subset entry partitioned");
+        std::process::exit(1);
+    }
+    let slow: Vec<_> = partitioned
+        .iter()
+        .filter(|t| t.parallel_speedup < min)
+        .collect();
+    if slow.is_empty() {
+        eprintln!(
+            "--assert-parallel {min}: ok ({} partitioned entr{})",
+            partitioned.len(),
+            if partitioned.len() == 1 { "y" } else { "ies" }
+        );
+        return;
+    }
+    eprintln!("--assert-parallel {min}: FAILED");
+    for t in slow {
+        eprintln!(
+            "  {} {:?}: parallel_speedup {:.2} < {min} (serial {:.3}s, parallel {:.3}s)",
+            t.id, t.fidelity, t.parallel_speedup, t.secs, t.secs_parallel
+        );
+    }
+    std::process::exit(1);
 }
 
 /// The baseline document's timing (secs) for a given (id, fidelity) pair.

@@ -79,6 +79,12 @@ impl Provenance {
                     ("timers_cancelled".into(), num(c.timers_cancelled)),
                     ("trains_emitted".into(), num(c.trains_emitted)),
                     ("fragments_coalesced".into(), num(c.fragments_coalesced)),
+                    ("sync_rounds_saved".into(), num(c.sync_rounds_saved)),
+                    ("barrier_ns".into(), num(c.barrier_ns)),
+                    (
+                        "round_events".into(),
+                        Value::Arr(c.round_events.iter().map(|&b| num(b)).collect()),
+                    ),
                     ("serial_runs".into(), num(self.tally.serial_runs)),
                     ("partitioned_runs".into(), num(self.tally.partitioned_runs)),
                     ("sync_rounds".into(), num(self.tally.sync_rounds)),
@@ -176,15 +182,29 @@ where
     let avail = avail
         .saturating_sub(simcore::domain::external_workers())
         .max(1);
+    // Threads one job may occupy: the widest engine split declared by any
+    // job in the set ([`Experiment::engine_threads`]), debited *before*
+    // siblings are claimed so a >2-domain job can never oversubscribe the
+    // machine with domain threads. Serial configs pin every job to one.
     let per_job = match cfg.partition {
         crate::config::PartitionMode::Off => 1,
-        _ => 2,
+        _ => jobs
+            .iter()
+            .map(|j| j.engine_threads.max(1))
+            .max()
+            .unwrap_or(1),
     };
     let mut workers = (avail / per_job).max(1).min(n);
     if let Some(cap) = cfg.workers {
         workers = workers.min(cap.max(1));
     }
     let _external = simcore::domain::register_external_workers(workers);
+    // Each worker owns an equal share of the claimed cores; granting the
+    // share as a thread allowance makes nested partition decisions
+    // (`simcore::domain::spawn_budget`) see it instead of the whole
+    // machine. On a 1-core box the share is 1, so partitioned jobs fall
+    // back to the cooperative executor rather than spawning threads.
+    let allowance = (avail / workers).max(1);
 
     let results: Vec<Mutex<Option<RunOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -192,22 +212,25 @@ where
     let first_panic = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                s.spawn(|| loop {
-                    let slot = next.fetch_add(1, Ordering::Relaxed);
-                    if slot >= n {
-                        break;
+                s.spawn(|| {
+                    let _allow = simcore::domain::set_thread_allowance(allowance);
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= n {
+                            break;
+                        }
+                        let i = order[slot];
+                        let out = run_one(&jobs[i], cfg);
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        let points: usize = out.figure.series.iter().map(|s| s.points.len()).sum();
+                        progress(&format!(
+                            "[{finished}/{n}] {id}: {ns} series, {points} points in {secs:.2}s",
+                            id = out.id,
+                            ns = out.figure.series.len(),
+                            secs = out.provenance.wall_secs,
+                        ));
+                        *results[i].lock().unwrap() = Some(out);
                     }
-                    let i = order[slot];
-                    let out = run_one(&jobs[i], cfg);
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    let points: usize = out.figure.series.iter().map(|s| s.points.len()).sum();
-                    progress(&format!(
-                        "[{finished}/{n}] {id}: {ns} series, {points} points in {secs:.2}s",
-                        id = out.id,
-                        ns = out.figure.series.len(),
-                        secs = out.provenance.wall_secs,
-                    ));
-                    *results[i].lock().unwrap() = Some(out);
                 })
             })
             .collect();

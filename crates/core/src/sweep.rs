@@ -62,6 +62,11 @@ where
         workers = workers.min(cap.max(1));
     }
     let _external = simcore::domain::register_external_workers(workers);
+    // Each worker's equal share of the claimed cores, granted as a thread
+    // allowance so nested partition decisions (`spawn_budget`) see the
+    // share, not the machine. On 1 core the share is 1: partitioned jobs
+    // run on the cooperative executor instead of spawning threads.
+    let allowance = (avail / workers).max(1);
 
     // Each input slot is claimed exactly once via the shared counter; the
     // Mutex<Option<I>> wrappers hand inputs to whichever worker claims them.
@@ -73,6 +78,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
+                    let _allow = simcore::domain::set_thread_allowance(allowance);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
@@ -144,6 +150,20 @@ mod tests {
             seen.iter().all(|&w| w >= 1),
             "jobs must see the sweep's claim: {seen:?}"
         );
+    }
+
+    #[test]
+    fn workers_run_jobs_under_a_thread_allowance() {
+        let cfg = RunConfig::default();
+        let seen = parallel_map(&cfg, vec![(), (), ()], |_| simcore::domain::spawn_budget());
+        // Each worker owns an equal share of the machine, granted as its
+        // thread allowance: a job's budget is never zero and never wider
+        // than the whole machine (which would oversubscribe once every
+        // worker partitions).
+        let avail = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert!(seen.iter().all(|&b| b >= 1 && b <= avail), "{seen:?}");
     }
 
     #[test]

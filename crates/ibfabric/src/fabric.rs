@@ -93,6 +93,22 @@ impl EngineProfile {
 /// 1–10 ms anyway).
 pub const AUTO_MIN_LOOKAHEAD: Dur = Dur::from_us(100);
 
+/// How many events Auto's density probe executes serially before deciding
+/// serial vs. partitioned. Large enough to see past the time-zero startup
+/// burst into steady-state traffic, small enough to be free (a full figure
+/// run is millions of events).
+pub const AUTO_PROBE_EVENTS: u64 = 4096;
+
+/// Auto partitions only when at most this fraction of probed events crossed
+/// the domain cut: staging, channel transfer, and wire-tail bookkeeping tax
+/// every crossing, so a cut that most traffic straddles parallelizes badly.
+const AUTO_MAX_CROSS_SHARE: f64 = 0.25;
+
+/// Auto partitions only when the probed prefix averaged at least this many
+/// events per domain per minimum-lookahead window — the work a window must
+/// hold for batching to amortize its synchronization.
+const AUTO_MIN_WINDOW_EVENTS: f64 = 4.0;
+
 /// Events dispatched per domain index are folded into this many slots.
 const DOMAIN_TALLY_SLOTS: usize = 8;
 
@@ -187,6 +203,9 @@ fn counters_delta(after: &EngineCounters, before: &EngineCounters) -> EngineCoun
         timers_cancelled: after.timers_cancelled - before.timers_cancelled,
         trains_emitted: after.trains_emitted - before.trains_emitted,
         fragments_coalesced: after.fragments_coalesced - before.fragments_coalesced,
+        sync_rounds_saved: after.sync_rounds_saved - before.sync_rounds_saved,
+        barrier_ns: after.barrier_ns - before.barrier_ns,
+        round_events: std::array::from_fn(|b| after.round_events[b] - before.round_events[b]),
     }
 }
 
@@ -516,7 +535,19 @@ impl FabricBuilder {
         // bridge buffers before emitting). Credited cables return
         // `CreditMsg`s at bare cable latency, so the forward delay cannot be
         // counted for them.
-        let mut lookahead_ns = vec![vec![u64::MAX; domains as usize]; domains as usize];
+        //
+        // Alongside the static bound, classify each direction for the
+        // train-aware wire-tail promise (`DomainSpec::tail_safe`): it holds
+        // only when every `da → db` message is serialized through a single
+        // physical path, i.e. exactly one cut cable connects the ordered
+        // pair and nothing bypasses its port serialization. Credit returns
+        // are scheduled at bare cable latency without riding the egress
+        // port, so a credited cut cable voids the promise in both
+        // directions it can carry credits.
+        let d = domains as usize;
+        let mut lookahead_ns = vec![vec![u64::MAX; d]; d];
+        let mut cut_cables = vec![vec![0u32; d]; d];
+        let mut serialized = vec![vec![true; d]; d];
         for a in 0..n {
             for &(b, _, cfg) in &self.adj[a] {
                 if !is_cut(a, b) {
@@ -531,16 +562,26 @@ impl FabricBuilder {
                 if cfg.credit_packets.is_none() {
                     let fwd = self.lookaheads[a].as_ref()?(&self.engine, a)?;
                     l += fwd;
+                } else {
+                    serialized[da][db] = false;
                 }
+                cut_cables[da][db] += 1;
                 let slot = &mut lookahead_ns[da][db];
                 *slot = (*slot).min(l.as_ns());
             }
         }
+        let mut tail_safe = vec![vec![false; d]; d];
+        for s in 0..d {
+            for t in 0..d {
+                tail_safe[s][t] = cut_cables[s][t] == 1 && serialized[s][t];
+            }
+        }
 
         let spec = DomainSpec {
-            domains: domains as usize,
+            domains: d,
             domain_of,
             lookahead_ns,
+            tail_safe,
         };
         spec.is_runnable().then_some(spec)
     }
@@ -588,9 +629,10 @@ impl Fabric {
         self.last_domain_report.as_ref()
     }
 
-    /// Whether `run` would take the partitioned path right now, given the
-    /// plan, the fabric's build-time [`PartitionMode`], and (in auto mode)
-    /// the lookahead width and spare-core budget.
+    /// Whether `run` would consider the partitioned path right now, given
+    /// the plan, the fabric's build-time [`PartitionMode`], and (in auto
+    /// mode) the lookahead width and spare-core budget. Auto additionally
+    /// runs a density probe inside [`Fabric::run`] before committing.
     fn should_partition(&self) -> bool {
         let Some(plan) = self.plan.as_ref() else {
             return false;
@@ -605,24 +647,86 @@ impl Fabric {
                 if plan.min_lookahead() < Some(AUTO_MIN_LOOKAHEAD) {
                     return false; // window too narrow to amortize barriers
                 }
-                let avail = std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1);
-                avail.saturating_sub(domain::external_workers()) >= plan.domains
+                // Thread budget: spare cores after sweep workers (or the
+                // per-job allowance a pool granted us). On a 1-core box this
+                // is 1 < domains, so Auto always runs serially — it can
+                // never be slower than serial there.
+                domain::spawn_budget() >= plan.domains
             }
         }
+    }
+
+    /// Auto's density probe: run a short serial prefix with cross-domain
+    /// tallying enabled, then decide whether the partitioned engine can win.
+    /// The prefix is byte-for-byte the serial simulation, so the probe never
+    /// perturbs results regardless of the verdict. Returns `true` when the
+    /// remainder should run partitioned.
+    ///
+    /// The verdict needs two things to hold (both computed over the probed
+    /// prefix, from `EngineCounters` plus the probe tally):
+    ///
+    /// * **cross-domain share** `cross / events` at most
+    ///   [`AUTO_MAX_CROSS_SHARE`] — domains must mostly mind their own
+    ///   business, or staging overhead swamps the parallelism;
+    /// * **event density** of at least [`AUTO_MIN_WINDOW_EVENTS`] events per
+    ///   domain per minimum-lookahead window — otherwise each window holds
+    ///   too little work to amortize its synchronization. A prefix that
+    ///   never advanced virtual time counts as infinitely dense.
+    fn auto_probe(&mut self) -> bool {
+        let plan = self.plan.as_ref().expect("caller checked plan");
+        let events_before = self.engine.counters().events_processed;
+        let time_before = self.engine.now();
+        let saved_limit = self.engine.event_limit();
+
+        self.engine.begin_partition_probe(&plan.domain_of);
+        self.engine
+            .set_event_limit(saved_limit.min(events_before.saturating_add(AUTO_PROBE_EVENTS)));
+        self.engine.run();
+        let cross = self.engine.end_partition_probe();
+        self.engine.set_event_limit(saved_limit);
+
+        if self.engine.next_event_time().is_none() || self.engine.stopped() {
+            // The whole simulation fit inside the probe; nothing left to
+            // parallelize.
+            return false;
+        }
+        let events = self.engine.counters().events_processed - events_before;
+        if events == 0 {
+            return false;
+        }
+        let cross_share = cross as f64 / events as f64;
+        if cross_share > AUTO_MAX_CROSS_SHARE {
+            return false;
+        }
+        let elapsed_ns = self.engine.now().since(time_before).as_ns();
+        if elapsed_ns == 0 {
+            return true; // startup burst: maximal density
+        }
+        let window_ns = plan
+            .min_lookahead()
+            .expect("plan with no cut edges is not runnable")
+            .as_ns();
+        let per_window_per_domain =
+            events as f64 * window_ns as f64 / elapsed_ns as f64 / plan.domains as f64;
+        per_window_per_domain >= AUTO_MIN_WINDOW_EVENTS
     }
 
     /// Run the simulation to quiescence; returns final virtual time.
     ///
     /// Chooses between the serial event loop and the partitioned engine
     /// ([`simcore::domain::run_partitioned`]) per [`Fabric::should_partition`];
-    /// the two are bit-identical in every virtual-time observable, so the
-    /// choice is invisible to experiments (enforced by the A/B determinism
-    /// suite in `bench/tests/determinism.rs`).
+    /// in [`PartitionMode::Auto`] a density probe ([`Fabric::auto_probe`])
+    /// additionally vets the workload over a short serial prefix. The serial
+    /// and partitioned paths are bit-identical in every virtual-time
+    /// observable, so the choice is invisible to experiments (enforced by
+    /// the A/B determinism suite in `bench/tests/determinism.rs`).
     pub fn run(&mut self) -> Time {
         let before = self.engine.counters();
-        let t = if self.should_partition() {
+        let mut partitioned = self.should_partition();
+        if partitioned && self.partition == PartitionMode::Auto && !self.auto_probe() {
+            partitioned = false;
+        }
+        let t = if partitioned {
             let plan = self.plan.as_ref().expect("should_partition checked plan");
             let report = domain::run_partitioned(&mut self.engine, plan);
             RUN_TALLY.with(|tally| {
@@ -682,7 +786,12 @@ impl Fabric {
 }
 
 /// Fabric-wide traffic totals from [`Fabric::report`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// Equality deliberately skips `domains` and `sync_rounds`: they describe
+/// *how* the engine executed (serial vs. partitioned, how often a domain
+/// blocked), not what the simulated fabric did, and the A/B determinism
+/// suites compare serial and partitioned reports with `==`.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct FabricReport {
     /// Endpoint count.
     pub nodes: usize,
@@ -702,6 +811,22 @@ pub struct FabricReport {
     /// Event-engine hot-path counters (allocations, pool hits, queue depth).
     pub engine_counters: simcore::EngineCounters,
 }
+
+impl PartialEq for FabricReport {
+    fn eq(&self, other: &Self) -> bool {
+        // See the struct doc: execution-strategy fields are excluded.
+        // `engine_counters` equality is itself the schedule-independent
+        // subset defined in `simcore`.
+        self.nodes == other.nodes
+            && self.switches == other.switches
+            && self.hca_packets_sent == other.hca_packets_sent
+            && self.hca_packets_received == other.hca_packets_received
+            && self.switch_packets_forwarded == other.switch_packets_forwarded
+            && self.engine_counters == other.engine_counters
+    }
+}
+
+impl Eq for FabricReport {}
 
 #[cfg(test)]
 mod tests {

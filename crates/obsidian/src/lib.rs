@@ -575,6 +575,75 @@ mod tests {
     }
 
     #[test]
+    fn wan_plan_promises_tails_only_on_serialized_uncredited_cuts() {
+        // The standard Longbow pair: exactly one uncredited WAN cable per
+        // direction, so both directions carry the wire-tail promise.
+        let (f, _a, _b) = cluster_pair(
+            Dur::from_ms(1),
+            Box::new(PingPong::new(LatMode::SendRc, true, 4, 10)),
+            Box::new(PingPong::new(LatMode::SendRc, false, 4, 10)),
+        );
+        let plan = f.domain_plan().expect("Longbow WAN fabric must split");
+        let (da, db) = (plan.domain_of[0] as usize, plan.domain_of[1] as usize);
+        assert!(plan.tail_safe_dir(da, db) && plan.tail_safe_dir(db, da));
+
+        // A shallow-buffered (credited) WAN cable returns CreditMsgs at bare
+        // cable latency, bypassing the egress port's serialization — the
+        // promise must be withheld in both directions.
+        let mut b = FabricBuilder::new(3);
+        let n1 = b.add_hca(
+            HcaConfig::default(),
+            Box::new(BwPeer::sender(BwConfig::new(4096, 4))),
+        );
+        let n2 = b.add_hca(HcaConfig::default(), Box::new(BwPeer::receiver()));
+        let sw_a = b.add_switch();
+        let sw_b = b.add_switch();
+        b.link(n1.actor, sw_a, LinkConfig::ddr_lan());
+        b.link(n2.actor, sw_b, LinkConfig::ddr_lan());
+        LongbowPair::insert_shallow(&mut b, sw_a, sw_b, Dur::from_ms(1), 16);
+        let f = b.finish();
+        let plan = f.domain_plan().expect("shallow WAN fabric still splits");
+        let (da, db) = (plan.domain_of[0] as usize, plan.domain_of[1] as usize);
+        assert!(!plan.tail_safe_dir(da, db) && !plan.tail_safe_dir(db, da));
+    }
+
+    /// `PartitionMode::Auto`: serial on one core, partitioned for a dense
+    /// WAN stream once cores are available — with identical observables.
+    #[test]
+    fn auto_mode_follows_cores_and_density() {
+        use ibfabric::fabric::EngineProfile;
+        use simcore::domain::set_test_assume_cores;
+
+        fn bw_run(profile: EngineProfile) -> (ibfabric::fabric::FabricReport, bool) {
+            let (mut f, a, b) = cluster_pair_with(
+                profile,
+                Dur::from_ms(1),
+                Box::new(BwPeer::sender(BwConfig::new(65536, 512))),
+                Box::new(BwPeer::receiver()),
+            );
+            let (qa, qb) = rc_qp_pair(&mut f, a, b, QpConfig::rc());
+            f.hca_mut(a).ulp_mut::<BwPeer>().qpn = qa;
+            f.hca_mut(b).ulp_mut::<BwPeer>().qpn = qb;
+            f.run();
+            (f.report(), f.domain_report().is_some())
+        }
+
+        // One core: Auto must stay serial — it can never beat serial there.
+        set_test_assume_cores(1);
+        let (rep_serial, par) = bw_run(EngineProfile::default());
+        assert!(!par, "Auto on 1 core must run serially");
+
+        // Plenty of cores and a dense streaming workload: the probe commits
+        // to the partitioned engine, and every observable (the report minus
+        // execution-strategy fields) is unchanged.
+        set_test_assume_cores(8);
+        let (rep_auto, par) = bw_run(EngineProfile::default());
+        set_test_assume_cores(0);
+        assert!(par, "Auto with spare cores must partition a dense stream");
+        assert_eq!(rep_serial, rep_auto, "Auto must not change observables");
+    }
+
+    #[test]
     fn lossy_fabric_never_partitions() {
         let mut builder = FabricBuilder::new(5);
         let n1 = builder.add_hca(
@@ -631,7 +700,14 @@ mod tests {
         let (lat_p, end_p, rep_p, par_p) = run_mode(EngineProfile::forced());
         assert!(!par_s, "Off must run serially");
         assert!(par_p, "Force with a plan must partition");
-        assert!(rep_p.domains == 2 && rep_p.sync_rounds > 0);
+        assert_eq!(rep_p.domains, 2);
+        // `sync_rounds` now counts true blocking episodes, which the batched
+        // protocol may avoid entirely (and the cooperative executor always
+        // does); amortization shows up as windows advanced without blocking.
+        assert!(
+            rep_p.engine_counters.sync_rounds_saved > 0,
+            "batched windows must advance without blocking: {rep_p:?}"
+        );
         assert_eq!(lat_s, lat_p, "latency must be bit-identical");
         assert_eq!(end_s, end_p, "quiescence time must be bit-identical");
         assert_eq!(

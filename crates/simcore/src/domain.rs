@@ -1,5 +1,7 @@
 //! Conservative partitioned parallel execution: split one engine's actor
-//! graph into domains and run each domain's event loop on its own thread.
+//! graph into domains and run each domain's event loop either on its own
+//! thread (when the core budget allows) or cooperatively on the calling
+//! thread (when it does not).
 //!
 //! ## Why this is safe on a WAN topology
 //!
@@ -11,42 +13,88 @@
 //! that sent it. That is exactly the structure conservative parallel
 //! discrete-event simulation (Chandy–Misra style) exploits.
 //!
-//! ## The window protocol
+//! ## The batched-window floor protocol (threaded mode)
 //!
-//! All domains run rounds in lockstep, two barriers per round:
+//! Earlier revisions ran all domains in barrier lockstep: two `Barrier`
+//! waits per window, ~16 events per domain between them, so futex traffic
+//! dominated wall time. The current protocol has **no barriers at all**.
+//! Each domain publishes two atomics:
 //!
-//! 1. **Drain + publish**: each domain moves any staged cross-domain
-//!    arrivals from its inbound channels into its event queue, then
-//!    publishes its next-event time `nvt_d` (∞ when empty).
-//! 2. **Barrier A**, then each domain reads every `nvt` and computes its
-//!    horizon `H_d = min over all domains s of (nvt_s + P[s][d])`, where
-//!    `P[s][d]` is the **lookahead path closure**: the cheapest chain of cut
-//!    crossings leading from `s` to `d` (at least one edge — for `s = d`
-//!    this is the cheapest cycle through `d`, e.g. ping + pong across the
-//!    WAN). The closure matters: a domain's *own* pending event can provoke
-//!    the neighbour into replying at `nvt_d + L[d][s] + L[s][d]`, which a
-//!    naive `min(nvt_s + L[s][d])` bound misses whenever the neighbour's
-//!    queue sits far in the future. If every `nvt` is ∞ (all queues empty —
-//!    and the channels were just drained), everyone exits together.
-//! 3. **Process**: each domain dispatches events with time **strictly
-//!    below** `H_d` (virtual times are integer nanoseconds, so this is
-//!    `run_until(H_d − 1 ns)`). Any message it generates for a foreign
-//!    actor is staged in its outbox instead of entering a queue.
-//! 4. **Flush + Barrier B**: outboxes drain into the per-pair SPSC
-//!    channels; the barrier ensures no channel is written while its
-//!    consumer drains it next round.
+//! * `floor_d` — a **monotone** lower bound on the timestamp of anything
+//!   domain `d` will ever process (and hence, `+ L[d][s]`, on anything it
+//!   will ever send to `s`). Published with `fetch_max`; stale reads are
+//!   merely conservative.
+//! * `nvt_d` — the exact next-event time (`u64::MAX` when idle), used only
+//!   by termination detection.
 //!
-//! *Progress*: every `P[s][d]` is positive and the channels are empty at
-//! publish time, so the domain holding the globally minimal `nvt` has
-//! `H_d ≥ nvt_d + (cheapest cycle) > nvt_d` and processes at least one
-//! event per round. *Safety*: any future arrival into `d` is the end of a
-//! causal chain that starts at some domain `s`'s first unprocessed event
-//! (time ≥ `nvt_s`) and crosses cuts accumulating at least `P[s][d]`, so it
-//! lands at ≥ `H_d` — never in `d`'s processed past. *Determinism*: rounds
-//! are lockstep, channels are FIFO, and inboxes drain in fixed sender
-//! order, so the insertion order into every queue is a pure function of the
-//! simulation — independent of how the OS schedules the threads (the
-//! start-jitter test knob exists to prove exactly this).
+//! A domain's loop iteration is: (1) read every inbound peer's `floor` and
+//! `wire_tail` *before* draining (the order is load-bearing: a floor value
+//! read after a peer's flush proves — via release/acquire through the
+//! atomic — that the flush is visible to the drain); (2) drain the inbound
+//! SPSC channels, inserting arrivals with deterministic sequence keys (see
+//! below); (3) publish `nvt`, then `floor = min(nvt, min over inbound s of
+//! floor_s + L[s][d])` — Bellman–Ford relaxation that converges in ≤ n
+//! iterations of spinning; (4) compute the horizon
+//!
+//! ```text
+//! H_d = min over inbound s of  max(floor_s + L[s][d], wire_tail[s][d])
+//! ```
+//!
+//! and, if `nvt_d < H_d`, process **every** event strictly below `H_d` in
+//! one `run_until` call — a multi-window batch — then flush the outbox.
+//! Only a domain that would actually block waits, and then by spinning,
+//! yielding, and finally parking in short sleeps paced by an EWMA of
+//! observed wait-episode lengths (the adaptive component: the pacing
+//! learns the cross-domain arrival cadence; correctness never depends on
+//! it). `DomainReport::sync_rounds` counts those parks — the number of
+//! times any domain truly blocked — while `EngineCounters::sync_rounds_saved`
+//! counts windows advanced without blocking.
+//!
+//! ## Train-aware lookahead widening
+//!
+//! `wire_tail[s][d]` is the arrival time of the *last fragment* of the most
+//! recent coalesced train staged from `s` to `d`. On directions the fabric
+//! marks `tail_safe` — all traffic crosses exactly one serialized cut cable
+//! — the cable's rate limiter makes staged arrival times monotone: any
+//! message staged later arrives no earlier than the previous train's tail.
+//! The horizon may therefore run past the static `floor + L` bound right up
+//! to the tail of a long in-flight train. When no promise is available
+//! (`tail_safe` false, or nothing staged yet) the conservative static
+//! lookahead bound is the fallback.
+//!
+//! ## Deterministic arrival ordering (window-size independence)
+//!
+//! Arrivals are inserted with sequence keys from the reserved upper half of
+//! the sequence space: `(1 << 63) | (src << 40) | per-src counter`. The key
+//! depends only on the sender and that sender's FIFO position — never on
+//! *when* the receiver happened to drain — so the final processing order of
+//! every queue is the pure `(time, seq)` heap order, identical for any
+//! window boundaries the OS scheduler produced. That theorem is what lets
+//! the threaded and cooperative executors (and any thread jitter) produce
+//! bit-identical results.
+//!
+//! ## The cooperative executor (1-core mode)
+//!
+//! When `spawn_budget() < domains` (e.g. a saturated sweep, or a 1-core
+//! box), spawning threads would only add handoff latency. Instead the
+//! domains run round-robin on the calling thread with no channels and no
+//! atomics: every sub-engine is visible to the one thread, so a flushed
+//! cross-domain message is pushed straight into the receiver's heap under
+//! its deterministic arrival key, and horizons come straight from the live
+//! next-event times (arrivals included) through the zero-diagonal lookahead
+//! path closure. Same arrival keys, same windows-until-exhausted batching,
+//! zero synchronization cost — so a forced partitioned run on one core
+//! performs like the serial engine instead of 5× worse.
+//!
+//! ## Termination
+//!
+//! Floors ratchet forever, so termination uses the exact `nvt` atomics plus
+//! an `outstanding` in-flight message counter and an `epoch` counter bumped
+//! by every flush and every drain. An idle domain declares completion only
+//! after a double collect: epoch read, all `nvt == MAX` and
+//! `outstanding == 0`, epoch unchanged. Any message in flight at the first
+//! read is either still counted in `outstanding`, visible as a finite
+//! `nvt`, or forces an epoch bump — all three fail the collect.
 //!
 //! RNG note: per-domain engines derive their own seeds, so a partitioned
 //! run is only bit-identical to the serial one when the simulation draws no
@@ -54,14 +102,16 @@
 //! WAN loss) disables partitioning at build time, mirroring how it already
 //! disables fragment-train coalescing.
 
-use crate::engine::{Actor, ActorId, Ctx, Engine, EventKind, Partition, Staged};
+use crate::engine::{Actor, ActorId, Ctx, Engine, EventKind, Msg, Partition, Staged};
 use crate::spsc;
 use crate::time::{Dur, Time};
 use ibwire::Packet;
 use std::any::Any;
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// How a fabric is split into domains, produced by the fabric builder from
 /// the topology (domains = connected components after cutting every
@@ -76,6 +126,12 @@ pub struct DomainSpec {
     /// any message a domain-`s` actor can schedule onto a domain-`d` actor.
     /// `u64::MAX` marks pairs with no connecting cut edge (no traffic).
     pub lookahead_ns: Vec<Vec<u64>>,
+    /// `tail_safe[s][d]`: every `s → d` message crosses exactly one
+    /// serialized cut cable, so the arrival times of staged messages are
+    /// monotone in staging order and a coalesced train's tail is a valid
+    /// promise that nothing later arrives before it (the train-aware
+    /// lookahead widening). An empty matrix means "no promises anywhere".
+    pub tail_safe: Vec<Vec<bool>>,
 }
 
 impl DomainSpec {
@@ -95,10 +151,10 @@ impl DomainSpec {
     /// crossing from `s` to `d`; for `s == d` that is the cheapest cycle
     /// through `d`. Floyd–Warshall over the direct-edge matrix (the
     /// all-infinite diagonal keeps every relaxation a ≥ 1-edge walk);
-    /// `u64::MAX` = no such chain. This, not the raw edge matrix, is what
-    /// bounds future arrivals: a domain's own pending event can provoke a
-    /// neighbour into replying, so its reflected sends constrain its own
-    /// horizon too.
+    /// `u64::MAX` = no such chain. The threaded floor protocol reaches the
+    /// same fixpoint by iterated one-hop relaxation; the cooperative
+    /// executor uses this closure directly, and `compute_plan` tests pin
+    /// its bounds on 2-domain, ring, and star cuts.
     pub fn path_closure(&self) -> Vec<Vec<u64>> {
         let n = self.domains;
         let mut p = self.lookahead_ns.clone();
@@ -121,15 +177,27 @@ impl DomainSpec {
         p
     }
 
+    /// Whether the `s → d` direction carries a wire-tail promise.
+    pub fn tail_safe_dir(&self, s: usize, d: usize) -> bool {
+        self.tail_safe
+            .get(s)
+            .and_then(|row| row.get(d))
+            .copied()
+            .unwrap_or(false)
+    }
+
     /// A spec is runnable when it has ≥ 2 domains, every lookahead is
-    /// positive, and every domain that can be sent to has a finite
-    /// lookahead from each of its senders (which is how the matrix is
-    /// built: one entry per cut-edge direction).
+    /// positive, every domain that can be sent to has a finite lookahead
+    /// from each of its senders (which is how the matrix is built: one
+    /// entry per cut-edge direction), and the tail-safe matrix — if present
+    /// — matches the domain count.
     pub fn is_runnable(&self) -> bool {
-        self.domains >= 2
+        let n = self.domains;
+        n >= 2
             && self.lookahead_ns.iter().flatten().all(|&l| l > 0)
-            && (0..self.domains)
-                .all(|d| (0..self.domains).any(|s| s != d && self.lookahead_ns[s][d] != u64::MAX))
+            && (0..n).all(|d| (0..n).any(|s| s != d && self.lookahead_ns[s][d] != u64::MAX))
+            && (self.tail_safe.is_empty()
+                || (self.tail_safe.len() == n && self.tail_safe.iter().all(|r| r.len() == n)))
     }
 }
 
@@ -138,30 +206,46 @@ impl DomainSpec {
 pub struct DomainReport {
     /// Domains the run was split into.
     pub domains: usize,
-    /// Synchronization rounds (barrier pairs) executed.
+    /// Blocking waits: the number of times any domain thread exhausted its
+    /// spin/yield budget and parked in a sleep. Near zero when the batched
+    /// windows amortize well; always zero in cooperative mode. (Earlier
+    /// protocol revisions counted lockstep barrier rounds here — ~137k for
+    /// a full fig5a — so this field is the headline amortization metric.)
     pub sync_rounds: u64,
     /// Events dispatched by each domain (sums to the serial event count).
     pub events_per_domain: Vec<u64>,
 }
 
-/// Worker threads claimed by an enclosing parameter sweep. `Fabric::run`'s
-/// auto heuristic subtracts these from `available_parallelism` so a
-/// saturating sweep doesn't oversubscribe cores with domain threads.
+/// Worker threads claimed by an enclosing parameter sweep or job runner.
+/// `spawn_budget` subtracts these from `available_cores` so a saturating
+/// sweep doesn't oversubscribe cores with domain threads.
 static EXTERNAL_WORKERS: AtomicUsize = AtomicUsize::new(0);
 
-/// Test-only schedule perturbation: before its first round, domain `d`
+/// Test-only schedule perturbation: before its first window, domain `d`
 /// sleeps `((d+1) * knob) % 5000` microseconds. Determinism tests sweep the
 /// knob to randomize thread interleaving; results must not move.
 static START_JITTER_US: AtomicU64 = AtomicU64::new(0);
 
-/// Register `n` sweep worker threads for the duration of the returned
+thread_local! {
+    /// Test override for [`available_cores`] (0 = unset). Thread-local so
+    /// concurrently running tests cannot race each other's knobs.
+    static ASSUME_CORES: Cell<usize> = const { Cell::new(0) };
+    /// Per-job thread allowance granted by an enclosing worker pool
+    /// (0 = none granted): the share of cores this job may spend on domain
+    /// threads, already debited from the pool's budget. Takes precedence
+    /// over the global `cores - external_workers` heuristic, which cannot
+    /// tell "claimed for me" from "claimed by a sibling".
+    static THREAD_ALLOWANCE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Register `n` pool worker threads for the duration of the returned
 /// guard. Nested fabric runs see them via [`external_workers`].
 pub fn register_external_workers(n: usize) -> ExternalWorkersGuard {
     EXTERNAL_WORKERS.fetch_add(n, Ordering::SeqCst);
     ExternalWorkersGuard(n)
 }
 
-/// Currently registered sweep workers.
+/// Currently registered pool workers.
 pub fn external_workers() -> usize {
     EXTERNAL_WORKERS.load(Ordering::SeqCst)
 }
@@ -182,6 +266,64 @@ pub fn set_test_start_jitter_us(us: u64) {
     START_JITTER_US.store(us, Ordering::SeqCst);
 }
 
+/// Pretend this machine has `n` cores for partitioning decisions made on
+/// the current thread (0 restores the real count). Lets tests exercise the
+/// threaded executor on a 1-core CI box and the cooperative one on a
+/// many-core dev box.
+pub fn set_test_assume_cores(n: usize) {
+    ASSUME_CORES.with(|c| c.set(n));
+}
+
+/// Cores available to this process, honoring the test override.
+pub fn available_cores() -> usize {
+    let assumed = ASSUME_CORES.with(|c| c.get());
+    if assumed > 0 {
+        return assumed;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Grant the current thread's jobs an explicit domain-thread allowance for
+/// the guard's lifetime (how a worker pool passes each job its pre-debited
+/// share of the core budget). Nests; the guard restores the previous value.
+pub fn set_thread_allowance(n: usize) -> ThreadAllowanceGuard {
+    ThreadAllowanceGuard(THREAD_ALLOWANCE.with(|c| c.replace(n)))
+}
+
+/// RAII handle from [`set_thread_allowance`].
+pub struct ThreadAllowanceGuard(usize);
+
+impl Drop for ThreadAllowanceGuard {
+    fn drop(&mut self) {
+        THREAD_ALLOWANCE.with(|c| c.set(self.0));
+    }
+}
+
+/// How many domain threads a partitioned run started on this thread may
+/// spawn: the pool-granted allowance if one is set, otherwise whatever the
+/// machine has left after registered external workers. Never below 1 (the
+/// calling thread itself, i.e. the cooperative executor).
+pub fn spawn_budget() -> usize {
+    let allowance = THREAD_ALLOWANCE.with(|c| c.get());
+    if allowance > 0 {
+        return allowance;
+    }
+    available_cores().saturating_sub(external_workers()).max(1)
+}
+
+/// Deterministic sequence key for a cross-domain arrival: upper half of the
+/// sequence space (arrivals sort after every same-nanosecond local event),
+/// then sender domain, then the sender's FIFO position. A pure function of
+/// the simulation — independent of drain timing — which is what makes event
+/// order independent of window boundaries.
+pub(crate) fn arrival_seq(src: usize, counter: u64) -> u64 {
+    debug_assert!(src < (1 << 23), "domain id overflows arrival seq");
+    debug_assert!(counter < (1 << 40), "per-domain arrival counter overflow");
+    (1 << 63) | ((src as u64) << 40) | counter
+}
+
 /// Placeholder occupying a foreign actor's slot in a domain engine so actor
 /// ids stay globally stable. Dispatching to it means the partition map or
 /// the lookahead protocol is wrong — fail loudly.
@@ -199,9 +341,11 @@ impl Actor for Foreign {
     }
 }
 
-/// Run `engine` to quiescence split across `spec.domains` threads, then
-/// merge everything (actors, clocks, counters, any leftover events) back so
-/// the caller sees the same `Engine` API surface as a serial run.
+/// Run `engine` to quiescence split across `spec.domains` — threaded when
+/// the core budget covers the domain count, cooperatively on the calling
+/// thread otherwise — then merge everything (actors, clocks, counters, any
+/// leftover events) back so the caller sees the same `Engine` API surface
+/// as a serial run. Both executors produce bit-identical simulations.
 ///
 /// Requirements: `spec.is_runnable()`, one `domain_of` entry per actor, and
 /// tracing disabled (a single bounded trace cannot interleave two threads'
@@ -220,8 +364,33 @@ pub fn run_partitioned(engine: &mut Engine, spec: &DomainSpec) -> DomainReport {
     );
 
     let domain_of: Arc<[u32]> = spec.domain_of.clone().into();
+    let subs = split_engine(engine, spec, &domain_of);
 
-    // --- Split: one engine per domain, actor ids preserved. -------------
+    let (results, parks, stopped) = if spawn_budget() >= n {
+        run_threaded(subs, spec)
+    } else {
+        run_cooperative(subs, spec)
+    };
+
+    let mut report = DomainReport {
+        domains: n,
+        sync_rounds: parks,
+        events_per_domain: results
+            .iter()
+            .map(|e| e.core.counters.events_processed)
+            .collect(),
+    };
+    report.events_per_domain.shrink_to_fit();
+
+    merge_results(engine, results, &domain_of, stopped);
+    report
+}
+
+/// Split the caller's engine into one engine per domain: actor ids
+/// preserved via `Foreign` stubs, queued events redistributed in pop order,
+/// deterministic per-domain seeds and disjoint timer-id ranges.
+fn split_engine(engine: &mut Engine, spec: &DomainSpec, domain_of: &Arc<[u32]>) -> Vec<Engine> {
+    let n = spec.domains;
     let mut subs: Vec<Engine> = (0..n as u64)
         .map(|d| {
             // Distinct deterministic per-domain seeds (never drawn from in
@@ -240,8 +409,10 @@ pub fn run_partitioned(engine: &mut Engine, spec: &DomainSpec) -> DomainReport {
             e.core.cancelled = engine.core.cancelled.clone();
             e.core.partition = Some(Partition {
                 domain: d as u32,
-                domain_of: Arc::clone(&domain_of),
+                domain_of: Arc::clone(domain_of),
                 outbox: Vec::new(),
+                probe: false,
+                cross_events: 0,
             });
             e
         })
@@ -275,90 +446,30 @@ pub fn run_partitioned(engine: &mut Engine, spec: &DomainSpec) -> DomainReport {
     }
     engine.core.nodes.clear();
     engine.core.free.clear();
+    subs
+}
 
-    // --- Per-pair SPSC channels. ----------------------------------------
-    let mut senders: Vec<Vec<Option<spsc::Sender<Staged>>>> =
-        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-    let mut receivers: Vec<Vec<Option<spsc::Receiver<Staged>>>> =
-        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-    for src in 0..n {
-        for dst in 0..n {
-            if src != dst {
-                let (tx, rx) = spsc::channel();
-                senders[src][dst] = Some(tx);
-                receivers[dst][src] = Some(rx);
-            }
-        }
-    }
-
-    // --- Shared synchronization state. ----------------------------------
-    let nvt: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
-    let barrier = Barrier::new(n);
-    let stop_flag = AtomicBool::new(false);
-    let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
-    let jitter = START_JITTER_US.load(Ordering::SeqCst);
-    // Horizons come from the path closure, not the raw edge matrix: see the
-    // module docs for why reflected sends constrain a domain's own window.
-    let paths = spec.path_closure();
-
-    let mut results: Vec<(Engine, u64)> = std::thread::scope(|s| {
-        let handles: Vec<_> = subs
-            .into_iter()
-            .zip(senders)
-            .zip(receivers)
-            .enumerate()
-            .map(|(me, ((eng, tx), rx))| {
-                let nvt = &nvt;
-                let barrier = &barrier;
-                let stop_flag = &stop_flag;
-                let panic_slot = &panic_slot;
-                let paths = &paths;
-                s.spawn(move || {
-                    domain_thread(
-                        me, eng, tx, rx, nvt, barrier, stop_flag, panic_slot, paths, jitter,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("domain thread exits cleanly"))
-            .collect()
-    });
-    if let Some(payload) = panic_slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
-        std::panic::resume_unwind(payload);
-    }
-
-    // --- Merge back into the caller's engine. ---------------------------
-    let sync_rounds = results[0].1;
-    let mut report = DomainReport {
-        domains: n,
-        sync_rounds,
-        events_per_domain: results
-            .iter()
-            .map(|(e, _)| e.core.counters.events_processed)
-            .collect(),
-    };
-    report.events_per_domain.shrink_to_fit();
-
-    engine.now = results
-        .iter()
-        .map(|(e, _)| e.now)
-        .max()
-        .unwrap_or(engine.now);
-    engine.core.stop = stop_flag.load(Ordering::SeqCst);
+/// Merge per-domain engines back into the caller's engine.
+fn merge_results(
+    engine: &mut Engine,
+    mut results: Vec<Engine>,
+    domain_of: &Arc<[u32]>,
+    stopped: bool,
+) {
+    engine.now = results.iter().map(|e| e.now).max().unwrap_or(engine.now);
+    engine.core.stop = stopped;
 
     // Actors return home in id order.
     let actor_count = domain_of.len();
     engine.actors.reserve(actor_count);
     for id in 0..actor_count {
         let owner = domain_of[id] as usize;
-        let slot = std::mem::replace(&mut results[owner].0.actors[id], Box::new(Foreign));
+        let slot = std::mem::replace(&mut results[owner].actors[id], Box::new(Foreign));
         engine.actors.push(slot);
     }
 
     let mut leftovers: Vec<(u64, usize, u64, EventKind)> = Vec::new();
-    for (d, (sub, _)) in results.iter_mut().enumerate() {
+    for (d, sub) in results.iter_mut().enumerate() {
         engine.core.counters += sub.core.counters;
         engine.core.next_timer_id = engine.core.next_timer_id.max(sub.core.next_timer_id);
         engine.core.cancelled.extend(sub.core.cancelled.drain());
@@ -379,7 +490,6 @@ pub fn run_partitioned(engine: &mut Engine, spec: &DomainSpec) -> DomainReport {
     for (at, _, _, kind) in leftovers {
         engine.core.push_event(Time::from_ns(at), kind);
     }
-    report
 }
 
 /// Fresh placeholder box used while threading actors into domain vectors.
@@ -387,94 +497,471 @@ fn actor_slot_placeholder() -> Box<dyn Actor> {
     Box::new(Foreign)
 }
 
-/// One domain's thread: the lockstep window loop described in the module
-/// docs. Returns the engine (with its share of the final state) and the
-/// number of synchronization rounds executed.
-#[allow(clippy::too_many_arguments)]
+/// Arrival time of the last fragment a staged message puts on the wire: the
+/// analytic train tail for coalesced packet trains, the delivery time
+/// itself for everything else.
+fn staged_tail(staged: &Staged) -> u64 {
+    let base = staged.at.as_ns();
+    match &staged.msg {
+        Msg::Packet(p) if p.count > 1 && p.gap_ns > 0 => {
+            base.saturating_add((p.count as u64 - 1).saturating_mul(p.gap_ns))
+        }
+        _ => base,
+    }
+}
+
+/// Shared state of a threaded partitioned run. All accesses use `SeqCst`:
+/// the protocol's correctness argument leans on a single total order of the
+/// floor/nvt/outstanding/epoch operations, and a handful of sequentially
+/// consistent operations per multi-event window is noise next to the event
+/// processing they amortize over.
+struct SyncShared {
+    /// Monotone published floors (see module docs).
+    floors: Vec<AtomicU64>,
+    /// Exact published next-event times; termination detection only.
+    nvts: Vec<AtomicU64>,
+    /// `wire_tails[src * n + dst]`: latest staged tail arrival promise.
+    wire_tails: Vec<AtomicU64>,
+    /// Staged messages pushed but not yet reflected in the receiver's
+    /// published `nvt` (incremented before the push, decremented after the
+    /// post-drain publish).
+    outstanding: AtomicU64,
+    /// Bumped by every flush and every non-empty drain; the double-collect
+    /// termination check re-reads it to reject in-between transitions.
+    epoch: AtomicU64,
+    /// An actor requested a stop (or a sibling thread is unwinding).
+    stop: AtomicBool,
+    /// Some domain exhausted its event budget.
+    limit: AtomicBool,
+    /// Clean global quiescence detected; everyone exits.
+    done: AtomicBool,
+    /// First panic payload from a domain thread, re-raised by the caller.
+    panic_slot: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Spin iterations before yielding, then yields before parking. Wait
+/// episodes shorter than a few microseconds — the common case when a peer
+/// is actively processing — never reach the futex.
+const WAIT_SPINS: u32 = 64;
+const WAIT_YIELDS: u32 = 64;
+
+/// Run the split engines on one thread per domain. Returns the engines (in
+/// domain order), the total park count, and whether a stop was requested.
+fn run_threaded(subs: Vec<Engine>, spec: &DomainSpec) -> (Vec<Engine>, u64, bool) {
+    let n = spec.domains;
+
+    // Per-ordered-pair SPSC channels.
+    let mut senders: Vec<Vec<Option<spsc::Sender<Staged>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    let mut receivers: Vec<Vec<Option<spsc::Receiver<Staged>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    for src in 0..n {
+        for dst in 0..n {
+            if src != dst {
+                let (tx, rx) = spsc::channel();
+                senders[src][dst] = Some(tx);
+                receivers[dst][src] = Some(rx);
+            }
+        }
+    }
+
+    let shared = SyncShared {
+        floors: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        // Seed the exact nvts before any thread exists: a verifier must
+        // never observe a pre-first-publish MAX for a domain holding work.
+        nvts: subs
+            .iter()
+            .map(|e| AtomicU64::new(e.next_event_time().map_or(u64::MAX, |t| t.as_ns())))
+            .collect(),
+        wire_tails: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+        outstanding: AtomicU64::new(0),
+        epoch: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        limit: AtomicBool::new(false),
+        done: AtomicBool::new(false),
+        panic_slot: Mutex::new(None),
+    };
+    let jitter = START_JITTER_US.load(Ordering::SeqCst);
+
+    type Outcome = (Engine, u64, Vec<Option<spsc::Receiver<Staged>>>);
+    let mut results: Vec<Outcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = subs
+            .into_iter()
+            .zip(senders)
+            .zip(receivers)
+            .enumerate()
+            .map(|(me, ((eng, tx), rx))| {
+                let shared = &shared;
+                s.spawn(move || domain_thread(me, eng, tx, rx, spec, shared, jitter))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("domain thread exits cleanly"))
+            .collect()
+    });
+    if let Some(payload) = shared
+        .panic_slot
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+    {
+        std::panic::resume_unwind(payload);
+    }
+
+    // A stop or budget exhaustion can leave flushed messages undrained in
+    // the channels after the threads exit; pull them into their owner's
+    // queue so nothing is lost (they become merge leftovers).
+    let parks: u64 = results.iter().map(|(_, p, _)| *p).sum();
+    for (eng, _, rxs) in results.iter_mut() {
+        for rx in rxs.iter_mut().flatten() {
+            while let Some(Staged { at, from, to, msg }) = rx.pop() {
+                eng.core
+                    .push_event(at, EventKind::Message { from, to, msg });
+            }
+        }
+    }
+    let stopped = shared.stop.load(Ordering::SeqCst);
+    (
+        results.into_iter().map(|(e, _, _)| e).collect(),
+        parks,
+        stopped,
+    )
+}
+
+/// One domain's thread: the batched-window floor loop from the module docs.
+/// Returns the engine, the park count, and the inbound receivers (so the
+/// caller can rescue undrained messages after an abnormal exit).
 fn domain_thread(
     me: usize,
     mut eng: Engine,
     mut tx: Vec<Option<spsc::Sender<Staged>>>,
     mut rx: Vec<Option<spsc::Receiver<Staged>>>,
-    nvt: &[AtomicU64],
-    barrier: &Barrier,
-    stop_flag: &AtomicBool,
-    panic_slot: &Mutex<Option<Box<dyn Any + Send>>>,
-    paths_ns: &[Vec<u64>],
+    spec: &DomainSpec,
+    shared: &SyncShared,
     jitter_us: u64,
-) -> (Engine, u64) {
-    let n = nvt.len();
+) -> (Engine, u64, Vec<Option<spsc::Receiver<Staged>>>) {
+    let n = spec.domains;
     if jitter_us > 0 {
         // Deterministic per-domain skew, purely to shake the OS schedule.
-        std::thread::sleep(std::time::Duration::from_micros(
+        std::thread::sleep(Duration::from_micros(
             (me as u64 + 1).wrapping_mul(jitter_us) % 5000,
         ));
     }
-    let mut rounds = 0u64;
+    let inbound: Vec<usize> = (0..n)
+        .filter(|&s| s != me && spec.lookahead_ns[s][me] != u64::MAX)
+        .collect();
+    let mut arrival_ctr = vec![0u64; n];
+    let mut floors_read = vec![0u64; n];
+    let mut tails_read = vec![0u64; n];
+    let mut parks = 0u64;
+    // Wait bookkeeping: `waited` distinguishes windows that advanced
+    // immediately (sync_rounds_saved) from ones that had to block first;
+    // the EWMA of episode lengths paces the park sleeps to the observed
+    // cross-domain arrival cadence.
+    let mut waited = false;
+    let mut attempts: u32 = 0;
+    let mut episode_start: Option<Instant> = None;
+    let mut episode_ewma_ns: u64 = 20_000;
+
     loop {
-        // Drain inbound channels in fixed sender order: insertion order
-        // into the queue is deterministic no matter how threads raced.
+        if shared.stop.load(Ordering::SeqCst)
+            || shared.limit.load(Ordering::SeqCst)
+            || shared.done.load(Ordering::SeqCst)
+        {
+            break;
+        }
+        // 1. Read peers' promises BEFORE draining. Load-bearing order: a
+        // floor value published after a peer's flush proves that flush is
+        // visible to the drain below, so anything the drain misses was sent
+        // from virtual time ≥ that floor (and staged after that wire tail).
+        for &src in &inbound {
+            floors_read[src] = shared.floors[src].load(Ordering::SeqCst);
+            tails_read[src] = if spec.tail_safe_dir(src, me) {
+                shared.wire_tails[src * n + me].load(Ordering::SeqCst)
+            } else {
+                0
+            };
+        }
+        // 2. Drain inbound channels in fixed sender order, inserting with
+        // reserved sequence keys (order is deterministic regardless of how
+        // the threads raced — see module docs).
+        let mut drained = 0u64;
         for src in 0..n {
             if let Some(rx) = rx[src].as_mut() {
                 while let Some(Staged { at, from, to, msg }) = rx.pop() {
-                    eng.core
-                        .push_event(at, EventKind::Message { from, to, msg });
+                    eng.core.push_event_arrival(
+                        at,
+                        EventKind::Message { from, to, msg },
+                        arrival_seq(src, arrival_ctr[src]),
+                    );
+                    arrival_ctr[src] += 1;
+                    drained += 1;
                 }
             }
         }
+        // 3. Publish: exact nvt first, then the relaxed floor, then release
+        // the in-flight debt for what we drained. The debt must outlive the
+        // nvt publish or the termination collect could miss the message.
         let my_nvt = eng.next_event_time().map_or(u64::MAX, |t| t.as_ns());
-        nvt[me].store(my_nvt, Ordering::SeqCst);
-        barrier.wait();
-        // Every domain reads the same snapshot (writes happened before the
-        // barrier, next writes happen after the second barrier).
-        let snap: Vec<u64> = nvt.iter().map(|v| v.load(Ordering::SeqCst)).collect();
-        if stop_flag.load(Ordering::SeqCst) || snap.iter().all(|&v| v == u64::MAX) {
-            // All queues and (just-drained, quiescent) channels are empty,
-            // or a stop was requested: everyone exits on the same round.
-            break;
+        shared.nvts[me].store(my_nvt, Ordering::SeqCst);
+        let mut floor = my_nvt;
+        for &src in &inbound {
+            floor = floor.min(floors_read[src].saturating_add(spec.lookahead_ns[src][me]));
         }
-        rounds += 1;
-        // Horizon over the path closure — note `src == me` participates via
-        // its cheapest cycle: our own sends can be reflected back at us.
+        shared.floors[me].fetch_max(floor, Ordering::SeqCst);
+        if drained > 0 {
+            shared.outstanding.fetch_sub(drained, Ordering::SeqCst);
+            shared.epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        // 4. Horizon: per inbound direction, the static floor bound widened
+        // by the wire-tail train promise where one exists.
         let mut horizon = u64::MAX;
-        for (src, row) in paths_ns.iter().enumerate() {
-            if row[me] != u64::MAX {
-                horizon = horizon.min(snap[src].saturating_add(row[me]));
-            }
+        for &src in &inbound {
+            let bound = floors_read[src]
+                .saturating_add(spec.lookahead_ns[src][me])
+                .max(tails_read[src]);
+            horizon = horizon.min(bound);
         }
         if my_nvt < horizon {
-            // Process strictly below the horizon (integer-ns times).
-            let deadline = Time::from_ns(horizon - 1);
+            if let Some(t0) = episode_start.take() {
+                let e = t0.elapsed().as_nanos() as u64;
+                eng.core.counters.barrier_ns += e;
+                episode_ewma_ns = (3 * episode_ewma_ns + e) / 4;
+            }
+            attempts = 0;
+            let before = eng.core.counters.events_processed;
             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                eng.run_until(deadline);
+                eng.run_until(Time::from_ns(horizon - 1));
             }));
             if let Err(payload) = run {
-                // Keep the barrier protocol alive so sibling threads don't
-                // deadlock; the payload re-raises on the caller thread.
-                panic_slot
+                shared
+                    .panic_slot
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .get_or_insert(payload);
-                stop_flag.store(true, Ordering::SeqCst);
+                shared.stop.store(true, Ordering::SeqCst);
+                flush_outbox(&mut eng, &mut tx, spec, shared, me);
+                break;
             }
-            if eng.core.stop {
-                stop_flag.store(true, Ordering::SeqCst);
+            let delta = eng.core.counters.events_processed - before;
+            eng.core.counters.record_window(delta);
+            if !waited {
+                eng.core.counters.sync_rounds_saved += 1;
             }
+            waited = false;
+            let stop_hit = eng.core.stop;
+            let limit_hit = eng.core.counters.events_processed >= eng.event_limit;
+            flush_outbox(&mut eng, &mut tx, spec, shared, me);
+            if stop_hit {
+                shared.stop.store(true, Ordering::SeqCst);
+                break;
+            }
+            if limit_hit {
+                shared.limit.store(true, Ordering::SeqCst);
+                break;
+            }
+            continue;
         }
-        // Flush staged cross-domain messages; the barrier below guarantees
-        // consumers only drain after every producer is done writing.
-        if let Some(p) = eng.core.partition.as_mut() {
-            for staged in p.outbox.drain(..) {
-                let dst = p.domain_of[staged.to] as usize;
-                tx[dst]
-                    .as_mut()
-                    .expect("staged message for a domain with no channel")
-                    .push(staged);
-            }
+        // Would block. An idle domain first probes for global quiescence;
+        // otherwise escalate spin → yield → park while peers' floors
+        // converge (each attempt is a full loop iteration, so the
+        // Bellman–Ford relaxation keeps making one-hop progress).
+        if my_nvt == u64::MAX && try_terminate(shared) {
+            shared.done.store(true, Ordering::SeqCst);
+            break;
         }
-        barrier.wait();
+        waited = true;
+        if episode_start.is_none() {
+            episode_start = Some(Instant::now());
+        }
+        attempts += 1;
+        if attempts <= WAIT_SPINS {
+            std::hint::spin_loop();
+        } else if attempts <= WAIT_SPINS + WAIT_YIELDS {
+            std::thread::yield_now();
+        } else {
+            parks += 1;
+            let park_ns = (episode_ewma_ns / 4).clamp(5_000, 100_000);
+            std::thread::sleep(Duration::from_nanos(park_ns));
+        }
     }
-    (eng, rounds)
+    if let Some(t0) = episode_start.take() {
+        eng.core.counters.barrier_ns += t0.elapsed().as_nanos() as u64;
+    }
+    (eng, parks, rx)
+}
+
+/// Flush this domain's outbox into the SPSC channels, maintaining the
+/// in-flight debt (incremented before any push so a mid-flight message is
+/// always either counted or visible), wire-tail promises (published after
+/// the push so a reader holding the tail has the message in reach), and the
+/// epoch.
+fn flush_outbox(
+    eng: &mut Engine,
+    tx: &mut [Option<spsc::Sender<Staged>>],
+    spec: &DomainSpec,
+    shared: &SyncShared,
+    me: usize,
+) {
+    let n = spec.domains;
+    let Some(p) = eng.core.partition.as_mut() else {
+        return;
+    };
+    if p.outbox.is_empty() {
+        return;
+    }
+    shared
+        .outstanding
+        .fetch_add(p.outbox.len() as u64, Ordering::SeqCst);
+    for staged in p.outbox.drain(..) {
+        let dst = p.domain_of[staged.to] as usize;
+        let tail = staged_tail(&staged);
+        let is_packet = staged.msg.is_packet();
+        tx[dst]
+            .as_mut()
+            .expect("staged message for a domain with no channel")
+            .push(staged);
+        if spec.tail_safe_dir(me, dst) {
+            debug_assert!(
+                is_packet,
+                "control message on a tail-safe direction voids the wire-tail promise"
+            );
+            shared.wire_tails[me * n + dst].fetch_max(tail, Ordering::SeqCst);
+        }
+    }
+    shared.epoch.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Double-collect quiescence check: all domains idle, nothing in flight,
+/// and no flush or drain slipped between the two epoch reads. Sound because
+/// any message not yet reflected in a receiver's published nvt is either
+/// still counted in `outstanding` or its drain bumped the epoch.
+fn try_terminate(shared: &SyncShared) -> bool {
+    let e1 = shared.epoch.load(Ordering::SeqCst);
+    if shared
+        .nvts
+        .iter()
+        .any(|v| v.load(Ordering::SeqCst) != u64::MAX)
+    {
+        return false;
+    }
+    if shared.outstanding.load(Ordering::SeqCst) != 0 {
+        return false;
+    }
+    shared.epoch.load(Ordering::SeqCst) == e1
+}
+
+/// Run the split engines round-robin on the calling thread: same windows,
+/// same arrival keys, no atomics and no handoff latency. Horizons use live
+/// effective next-event times through the zero-diagonal path closure, so
+/// each visit batches the maximum provably-safe window. Cross-domain
+/// messages skip the channel stage entirely — every sub-engine is visible
+/// to this one thread, so a flushed message goes straight into the
+/// receiver's heap under its deterministic arrival key, and floors read the
+/// receiver's queue minimum with arrivals already included.
+fn run_cooperative(mut subs: Vec<Engine>, spec: &DomainSpec) -> (Vec<Engine>, u64, bool) {
+    let n = spec.domains;
+    let mut wire_tails = vec![0u64; n * n];
+    let mut arrival_ctr = vec![0u64; n * n]; // [dst * n + src]
+    let mut p0 = spec.path_closure();
+    for (i, row) in p0.iter_mut().enumerate() {
+        row[i] = 0; // zero-diagonal: floors bound a domain's own queue too
+    }
+    let mut scratch: Vec<Staged> = Vec::new();
+    let mut stopped = false;
+
+    'run: loop {
+        let mut progressed = false;
+        for me in 0..n {
+            let my_nvt = subs[me].next_event_time().map_or(u64::MAX, |t| t.as_ns());
+            if my_nvt == u64::MAX {
+                continue;
+            }
+            let mut horizon = u64::MAX;
+            for src in 0..n {
+                if src == me {
+                    continue;
+                }
+                let l = spec.lookahead_ns[src][me];
+                if l == u64::MAX {
+                    continue;
+                }
+                // floor(src) = min over every domain r of its effective
+                // next-event time plus the cheapest ≥0-edge chain r → src.
+                let mut floor = u64::MAX;
+                for r in 0..n {
+                    let nvt_eff = if r == me {
+                        my_nvt
+                    } else {
+                        subs[r].next_event_time().map_or(u64::MAX, |t| t.as_ns())
+                    };
+                    floor = floor.min(nvt_eff.saturating_add(p0[r][src]));
+                }
+                let mut bound = floor.saturating_add(l);
+                if spec.tail_safe_dir(src, me) {
+                    bound = bound.max(wire_tails[src * n + me]);
+                }
+                horizon = horizon.min(bound);
+            }
+            if my_nvt >= horizon {
+                continue;
+            }
+            let before = subs[me].core.counters.events_processed;
+            let cancelled_before = subs[me].core.counters.timers_cancelled;
+            subs[me].run_until(Time::from_ns(horizon - 1));
+            let delta = subs[me].core.counters.events_processed - before;
+            subs[me].core.counters.record_window(delta);
+            subs[me].core.counters.sync_rounds_saved += 1;
+            // Swallowed tombstones are progress too (the queue shrank), even
+            // though they are deliberately not dispatched events.
+            progressed |= delta > 0 || subs[me].core.counters.timers_cancelled > cancelled_before;
+            {
+                let p = subs[me].core.partition.as_mut().expect("split installs it");
+                std::mem::swap(&mut scratch, &mut p.outbox);
+            }
+            for staged in scratch.drain(..) {
+                let dst = spec.domain_of[staged.to] as usize;
+                if spec.tail_safe_dir(me, dst) {
+                    debug_assert!(
+                        staged.msg.is_packet(),
+                        "control message on a tail-safe direction voids the wire-tail promise"
+                    );
+                    let wt = &mut wire_tails[me * n + dst];
+                    *wt = (*wt).max(staged_tail(&staged));
+                }
+                let Staged { at, from, to, msg } = staged;
+                subs[dst].core.push_event_arrival(
+                    at,
+                    EventKind::Message { from, to, msg },
+                    arrival_seq(me, arrival_ctr[dst * n + me]),
+                );
+                arrival_ctr[dst * n + me] += 1;
+            }
+            if subs[me].core.stop {
+                stopped = true;
+                break 'run;
+            }
+            if subs[me].core.counters.events_processed >= subs[me].event_limit {
+                break 'run;
+            }
+        }
+        if !progressed {
+            // Progress theorem: the domain holding the globally minimal
+            // effective nvt always clears its horizon, so a full idle pass
+            // means quiescence — anything else is a protocol bug.
+            let all_idle = subs.iter().all(|e| e.next_event_time().is_none());
+            assert!(
+                all_idle,
+                "cooperative partitioned engine stalled with pending events"
+            );
+            break;
+        }
+    }
+
+    // No channel residue to return: flushed messages already live in their
+    // receiver's heap, so stop/limit exits merge like any other early exit.
+    (subs, 0, stopped)
 }
 
 #[cfg(test)]
@@ -507,6 +994,7 @@ mod tests {
                 vec![u64::MAX, Dur::from_us(100).as_ns()],
                 vec![Dur::from_us(100).as_ns(), u64::MAX],
             ],
+            tail_safe: Vec::new(),
         }
     }
 
@@ -528,25 +1016,39 @@ mod tests {
         e
     }
 
+    /// Run `f` with a pretended core count, restoring the real one after.
+    fn with_cores<T>(n: usize, f: impl FnOnce() -> T) -> T {
+        set_test_assume_cores(n);
+        let r = f();
+        set_test_assume_cores(0);
+        r
+    }
+
+    /// Both executors, same workload, same serial golden.
     #[test]
-    fn partitioned_ping_pong_matches_serial() {
+    fn partitioned_ping_pong_matches_serial_in_both_modes() {
         let mut serial = ping_pong_engine(50);
         let end_serial = serial.run();
 
-        let mut par = ping_pong_engine(50);
-        let report = run_partitioned(&mut par, &two_domain_spec());
-
-        assert_eq!(par.now(), end_serial);
-        assert_eq!(par.events_processed(), serial.events_processed());
-        assert_eq!(report.domains, 2);
-        assert!(report.sync_rounds > 0);
-        assert_eq!(
-            report.events_per_domain.iter().sum::<u64>(),
-            serial.events_processed()
-        );
-        // Actors merged back with state intact and ids preserved.
-        assert_eq!(par.actor::<Pong>(0).count, serial.actor::<Pong>(0).count);
-        assert_eq!(par.actor::<Pong>(1).count, serial.actor::<Pong>(1).count);
+        for cores in [1usize, 8] {
+            let (par, report) = with_cores(cores, || {
+                let mut par = ping_pong_engine(50);
+                let report = run_partitioned(&mut par, &two_domain_spec());
+                (par, report)
+            });
+            assert_eq!(par.now(), end_serial, "cores={cores}");
+            assert_eq!(par.events_processed(), serial.events_processed());
+            assert_eq!(report.domains, 2);
+            assert_eq!(
+                report.events_per_domain.iter().sum::<u64>(),
+                serial.events_processed()
+            );
+            // The batched windows must be visible in the counters.
+            assert!(par.counters().windows_recorded() > 0, "cores={cores}");
+            // Actors merged back with state intact and ids preserved.
+            assert_eq!(par.actor::<Pong>(0).count, serial.actor::<Pong>(0).count);
+            assert_eq!(par.actor::<Pong>(1).count, serial.actor::<Pong>(1).count);
+        }
     }
 
     #[test]
@@ -558,18 +1060,22 @@ mod tests {
         let c: EngineCounters = par.counters();
         assert_eq!(c.events_processed, serial.counters().events_processed);
         assert!(c.pool_hits + c.events_allocated >= c.events_processed);
+        assert!(c.sync_rounds_saved > 0, "windows should amortize: {c:?}");
     }
 
     #[test]
-    fn jitter_does_not_change_outcome() {
-        let mut base = ping_pong_engine(30);
-        run_partitioned(&mut base, &two_domain_spec());
+    fn jitter_does_not_change_outcome_threaded() {
+        let (base_now, base_events) = with_cores(8, || {
+            let mut base = ping_pong_engine(30);
+            run_partitioned(&mut base, &two_domain_spec());
+            (base.now(), base.events_processed())
+        });
         for knob in [1u64, 137, 991] {
             set_test_start_jitter_us(knob);
             let mut e = ping_pong_engine(30);
-            run_partitioned(&mut e, &two_domain_spec());
-            assert_eq!(e.now(), base.now(), "jitter {knob} changed the clock");
-            assert_eq!(e.events_processed(), base.events_processed());
+            with_cores(8, || run_partitioned(&mut e, &two_domain_spec()));
+            assert_eq!(e.now(), base_now, "jitter {knob} changed the clock");
+            assert_eq!(e.events_processed(), base_events);
         }
         set_test_start_jitter_us(0);
     }
@@ -590,6 +1096,20 @@ mod tests {
     }
 
     #[test]
+    fn thread_allowance_overrides_global_budget() {
+        assert_eq!(spawn_budget(), with_cores(0, available_cores));
+        {
+            let _g = set_thread_allowance(3);
+            assert_eq!(spawn_budget(), 3);
+            {
+                let _inner = set_thread_allowance(1);
+                assert_eq!(spawn_budget(), 1);
+            }
+            assert_eq!(spawn_budget(), 3, "allowance guard must restore nesting");
+        }
+    }
+
+    #[test]
     fn path_closure_finds_cycles_and_transit() {
         // Ring of three: 0 → 1 → 2 → 0, each hop 10 us.
         let hop = Dur::from_us(10).as_ns();
@@ -601,12 +1121,36 @@ mod tests {
                 vec![u64::MAX, u64::MAX, hop],
                 vec![hop, u64::MAX, u64::MAX],
             ],
+            tail_safe: Vec::new(),
         };
         let p = spec.path_closure();
         assert_eq!(p[0][1], hop, "direct edge survives");
         assert_eq!(p[0][2], 2 * hop, "transit path composes");
         assert_eq!(p[0][0], 3 * hop, "own cheapest cycle bounds self");
         assert_eq!(p[1][0], 2 * hop);
+    }
+
+    #[test]
+    fn path_closure_star_cut() {
+        // Star: hub 0 exchanges with leaves 1 and 2; leaves only reach each
+        // other through the hub.
+        let spoke = Dur::from_us(20).as_ns();
+        let spec = DomainSpec {
+            domains: 3,
+            domain_of: vec![0, 1, 2],
+            lookahead_ns: vec![
+                vec![u64::MAX, spoke, spoke],
+                vec![spoke, u64::MAX, u64::MAX],
+                vec![spoke, u64::MAX, u64::MAX],
+            ],
+            tail_safe: Vec::new(),
+        };
+        assert!(spec.is_runnable());
+        let p = spec.path_closure();
+        assert_eq!(p[1][2], 2 * spoke, "leaf to leaf transits the hub");
+        assert_eq!(p[1][1], 2 * spoke, "leaf cycle is out and back");
+        assert_eq!(p[0][0], 2 * spoke, "hub cycle via nearest leaf");
+        assert_eq!(spec.min_lookahead(), Some(Dur::from_us(20)));
     }
 
     #[test]
@@ -617,6 +1161,250 @@ mod tests {
         let mut t = two_domain_spec();
         t.domains = 1;
         assert!(!t.is_runnable());
+        let mut u = two_domain_spec();
+        u.tail_safe = vec![vec![false]]; // wrong shape
+        assert!(!u.is_runnable());
+    }
+
+    #[test]
+    fn arrival_seqs_sort_after_locals_and_by_sender() {
+        assert!(arrival_seq(0, 0) > u64::MAX / 2, "upper half reserved");
+        assert!(arrival_seq(0, 1) > arrival_seq(0, 0), "FIFO within sender");
+        assert!(
+            arrival_seq(1, 0) > arrival_seq(0, 999),
+            "sender-major order"
+        );
+    }
+
+    /// A three-domain ring where only one message circulates: two domains
+    /// are always quiet. The quiet domains must neither spin forever nor
+    /// mis-declare termination while the token is in flight.
+    #[test]
+    fn quiet_domains_terminate_cleanly() {
+        fn ring_engine() -> Engine {
+            let mut e = Engine::new(11);
+            for id in 0..3usize {
+                e.add_actor(Box::new(Pong {
+                    peer: (id + 1) % 3,
+                    delay: Dur::from_us(50),
+                    count: 0,
+                    limit: 30,
+                }));
+            }
+            e.schedule_message(Time::ZERO, 0, 1, Box::new(0u8));
+            e
+        }
+        let hop = Dur::from_us(50).as_ns();
+        let spec = DomainSpec {
+            domains: 3,
+            domain_of: vec![0, 1, 2],
+            lookahead_ns: vec![
+                vec![u64::MAX, hop, u64::MAX],
+                vec![u64::MAX, u64::MAX, hop],
+                vec![hop, u64::MAX, u64::MAX],
+            ],
+            tail_safe: Vec::new(),
+        };
+        let mut serial = ring_engine();
+        let end = serial.run();
+        for cores in [1usize, 8] {
+            let mut par = ring_engine();
+            with_cores(cores, || run_partitioned(&mut par, &spec));
+            assert_eq!(par.now(), end, "cores={cores}");
+            assert_eq!(par.events_processed(), serial.events_processed());
+        }
+    }
+
+    /// Same-nanosecond tie between a local timer and a cross-domain arrival:
+    /// the reserved upper-half sequence keys put the arrival after the local
+    /// event in *both* executors, for any thread interleaving.
+    struct TieRecorder {
+        order: Vec<&'static str>,
+    }
+
+    impl Actor for TieRecorder {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: ActorId, _msg: Box<dyn Any>) {
+            self.order.push("arrival");
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {
+            self.order.push("timer");
+        }
+    }
+
+    struct OneShot {
+        peer: ActorId,
+        delay: Dur,
+    }
+
+    impl Actor for OneShot {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, _msg: Box<dyn Any>) {
+            ctx.send(self.peer, Box::new(0u8), self.delay);
+        }
+    }
+
+    #[test]
+    fn same_ns_arrival_sorts_after_local_event_in_both_modes() {
+        let build = || {
+            let mut e = Engine::new(5);
+            let a = e.add_actor(Box::new(OneShot {
+                peer: 1,
+                delay: Dur::from_us(100),
+            }));
+            let b = e.add_actor(Box::new(TieRecorder { order: vec![] }));
+            // The cross message leaves domain 0 at t=0 and arrives at b at
+            // exactly t=100us — the same instant as b's local timer.
+            e.schedule_message(Time::ZERO, a, a, Box::new(0u8));
+            e.schedule_timer(Time::from_us(100), b, 1);
+            e
+        };
+        for cores in [1usize, 8] {
+            let mut e = build();
+            with_cores(cores, || run_partitioned(&mut e, &two_domain_spec()));
+            assert_eq!(
+                e.actor::<TieRecorder>(1).order,
+                vec!["timer", "arrival"],
+                "cores={cores}"
+            );
+        }
+    }
+
+    /// Packet-train traffic over a tail-safe direction: the wire-tail
+    /// promise path must stay bit-identical to serial in both executors.
+    struct TrainSource {
+        peer: ActorId,
+        sent: u32,
+        limit: u32,
+    }
+
+    fn train_packet(psn: u32) -> Packet {
+        use ibwire::{Lid, Opcode, Qpn};
+        Packet {
+            dst_lid: Lid(2),
+            src_lid: Lid(1),
+            dst_qpn: Qpn(0),
+            src_qpn: Qpn(0),
+            opcode: Opcode::UdSend,
+            psn,
+            payload: 2048,
+            msg_id: 0,
+            msg_len: 8192,
+            offset: 0,
+            imm: 0,
+            count: 4,
+            stride: 2048,
+            gap_ns: 10_000,
+            data: None,
+        }
+    }
+
+    impl Actor for TrainSource {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            if self.sent < self.limit {
+                // One train every 200us, arriving 100us later with a 30us
+                // tail: staged arrival times stay monotone, as a serialized
+                // cable would make them.
+                ctx.send(self.peer, train_packet(self.sent), Dur::from_us(100));
+                self.sent += 1;
+                ctx.timer(Dur::from_us(200), 0);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: ActorId, _msg: Box<dyn Any>) {}
+    }
+
+    struct TrainSink {
+        fragments: u64,
+    }
+
+    impl Actor for TrainSink {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: ActorId, _msg: Box<dyn Any>) {}
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _from: ActorId, pkt: Packet) {
+            self.fragments += pkt.count as u64;
+        }
+    }
+
+    #[test]
+    fn train_tail_promises_preserve_serial_results() {
+        let build = || {
+            let mut e = Engine::new(13);
+            let src = e.add_actor(Box::new(TrainSource {
+                peer: 1,
+                sent: 0,
+                limit: 25,
+            }));
+            e.add_actor(Box::new(TrainSink { fragments: 0 }));
+            e.schedule_timer(Time::ZERO, src, 0);
+            e
+        };
+        let mut spec = two_domain_spec();
+        spec.tail_safe = vec![vec![false, true], vec![false, false]];
+        let mut serial = build();
+        let end = serial.run();
+        for cores in [1usize, 8] {
+            let mut par = build();
+            with_cores(cores, || run_partitioned(&mut par, &spec));
+            assert_eq!(par.now(), end, "cores={cores}");
+            assert_eq!(par.events_processed(), serial.events_processed());
+            assert_eq!(
+                par.actor::<TrainSink>(1).fragments,
+                serial.actor::<TrainSink>(1).fragments
+            );
+            assert_eq!(
+                par.counters().trains_emitted,
+                serial.counters().trains_emitted
+            );
+        }
+    }
+
+    /// A stop request mid-run must halt both executors without hanging and
+    /// surface through `Engine::stopped`.
+    struct Stopper {
+        after: u32,
+        seen: u32,
+        peer: ActorId,
+    }
+
+    impl Actor for Stopper {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, _msg: Box<dyn Any>) {
+            self.seen += 1;
+            if self.seen >= self.after {
+                ctx.stop();
+            } else {
+                ctx.send(self.peer, Box::new(0u8), Dur::from_us(100));
+            }
+        }
+    }
+
+    #[test]
+    fn stop_requests_halt_both_modes() {
+        for cores in [1usize, 8] {
+            let mut e = Engine::new(17);
+            e.add_actor(Box::new(Stopper {
+                after: 5,
+                seen: 0,
+                peer: 1,
+            }));
+            e.add_actor(Box::new(Stopper {
+                after: u32::MAX,
+                seen: 0,
+                peer: 0,
+            }));
+            e.schedule_message(Time::ZERO, 1, 0, Box::new(0u8));
+            with_cores(cores, || run_partitioned(&mut e, &two_domain_spec()));
+            assert!(e.stopped(), "cores={cores}");
+            assert_eq!(e.actor::<Stopper>(0).seen, 5);
+        }
+    }
+
+    /// Exhausting the event budget must not hang either executor.
+    #[test]
+    fn event_limit_halts_partitioned_run() {
+        for cores in [1usize, 8] {
+            let mut e = ping_pong_engine(u32::MAX);
+            e.set_event_limit(64);
+            with_cores(cores, || run_partitioned(&mut e, &two_domain_spec()));
+            assert!(e.events_processed() >= 64, "cores={cores}");
+            assert!(!e.stopped(), "budget exhaustion is not an actor stop");
+        }
     }
 
     #[test]
@@ -643,8 +1431,8 @@ mod tests {
     }
 
     /// An actor panicking inside a domain thread must not deadlock the
-    /// sibling threads at a barrier; the payload re-raises on the caller.
-    /// The test completing (rather than hanging) is half the assertion.
+    /// sibling threads; the payload re-raises on the caller. The test
+    /// completing (rather than hanging) is half the assertion.
     struct Bomb;
 
     impl Actor for Bomb {
@@ -654,22 +1442,24 @@ mod tests {
     }
 
     #[test]
-    fn domain_thread_panic_propagates_without_deadlock() {
-        let mut e = Engine::new(3);
-        let a = e.add_actor(Box::new(Bomb));
-        let b = e.add_actor(Box::new(Bomb));
-        e.schedule_message(Time::from_us(1), a, b, Box::new(0u8));
-        let spec = two_domain_spec();
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_partitioned(&mut e, &spec);
-        }));
-        let err = r.expect_err("domain-thread panic must surface to the caller");
-        let msg = err
-            .downcast_ref::<&str>()
-            .copied()
-            .map(str::to_string)
-            .or_else(|| err.downcast_ref::<String>().cloned())
-            .unwrap_or_default();
-        assert!(msg.contains("detonated"), "payload should survive: {msg}");
+    fn domain_panic_propagates_without_deadlock_in_both_modes() {
+        for cores in [1usize, 8] {
+            let mut e = Engine::new(3);
+            let a = e.add_actor(Box::new(Bomb));
+            let b = e.add_actor(Box::new(Bomb));
+            e.schedule_message(Time::from_us(1), a, b, Box::new(0u8));
+            let spec = two_domain_spec();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                with_cores(cores, || run_partitioned(&mut e, &spec));
+            }));
+            let err = r.expect_err("domain panic must surface to the caller");
+            let msg = err
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_string)
+                .or_else(|| err.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(msg.contains("detonated"), "payload should survive: {msg}");
+        }
     }
 }

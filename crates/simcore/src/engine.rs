@@ -183,10 +183,19 @@ pub(crate) struct Staged {
 /// [`crate::domain::run_partitioned`]: which domain this engine is, the
 /// global actor→domain map, and the outbox where messages addressed to
 /// foreign actors are staged instead of entering the local queue.
+///
+/// In *probe* mode (`PartitionMode::Auto`'s pre-run density probe) nothing
+/// detours: cross-domain messages are counted and then queued locally, so a
+/// serial prefix can measure cross-domain traffic share without changing
+/// the simulation at all.
 pub(crate) struct Partition {
     pub(crate) domain: u32,
     pub(crate) domain_of: Arc<[u32]>,
     pub(crate) outbox: Vec<Staged>,
+    /// Count cross-domain messages instead of staging them (Auto probe).
+    pub(crate) probe: bool,
+    /// Messages addressed across the domain cut while probing.
+    pub(crate) cross_events: u64,
 }
 
 /// Compact heap entry: the event payload lives in the slab at `idx`, so heap
@@ -231,12 +240,20 @@ impl Ord for HeapKey {
     }
 }
 
+/// Number of log2 buckets in [`EngineCounters::round_events`].
+pub const ROUND_EVENT_BUCKETS: usize = 8;
+
 /// Hot-path health counters maintained by the engine.
 ///
 /// All fields are integers so reports embedding this struct can stay `Eq`
 /// (and thus usable in exact-equality determinism tests); the derived ratio
 /// is exposed as [`EngineCounters::pool_hit_rate`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// Equality compares only the *schedule-independent* fields (see the manual
+/// `PartialEq` impl below): the pool/peak fields depend on how wide the
+/// partitioned engine's synchronization windows happened to be, which is a
+/// function of thread timing, while the simulation itself stays bit-exact.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct EngineCounters {
     /// Events dispatched to actors (cancelled timers are not dispatched and
     /// are excluded).
@@ -256,7 +273,34 @@ pub struct EngineCounters {
     /// Fragment hop-deliveries that rode inside a train instead of costing
     /// their own event (`count - 1` per dispatched train).
     pub fragments_coalesced: u64,
+    /// Synchronization windows a partitioned domain advanced through without
+    /// ever blocking on its peers — the batched-window protocol's measure of
+    /// barriers amortized away (serial runs leave this zero).
+    pub sync_rounds_saved: u64,
+    /// Wall-clock nanoseconds partitioned domain threads spent blocked
+    /// waiting for a peer's floor to advance (serial runs leave this zero).
+    pub barrier_ns: u64,
+    /// Log2 histogram of events processed per synchronization window:
+    /// bucket `i` counts windows that dispatched `[2^i, 2^(i+1))` events
+    /// (the last bucket absorbs everything larger). Empty windows are not
+    /// recorded.
+    pub round_events: [u64; ROUND_EVENT_BUCKETS],
 }
+
+/// Equality over the schedule-independent subset: what the simulation *did*
+/// (events dispatched, timers skipped, trains coalesced), not how the host
+/// scheduler happened to slice it into windows or grow slabs. This is what
+/// lets two runs of the same figure — serial vs. partitioned, or two
+/// differently-jittered partitioned runs — compare reports with `==`.
+impl PartialEq for EngineCounters {
+    fn eq(&self, other: &Self) -> bool {
+        self.events_processed == other.events_processed
+            && self.timers_cancelled == other.timers_cancelled
+            && self.trains_emitted == other.trains_emitted
+            && self.fragments_coalesced == other.fragments_coalesced
+    }
+}
+impl Eq for EngineCounters {}
 
 impl EngineCounters {
     /// Fraction of event-node acquisitions served from the pool,
@@ -283,6 +327,22 @@ impl EngineCounters {
             self.fragments_coalesced as f64 / total as f64
         }
     }
+
+    /// Record one non-empty synchronization window that dispatched `events`
+    /// events into the log2 histogram.
+    pub(crate) fn record_window(&mut self, events: u64) {
+        if events == 0 {
+            return;
+        }
+        let bucket = (63 - events.leading_zeros() as usize).min(ROUND_EVENT_BUCKETS - 1);
+        self.round_events[bucket] += 1;
+    }
+
+    /// Total non-empty synchronization windows recorded in
+    /// [`EngineCounters::round_events`].
+    pub fn windows_recorded(&self) -> u64 {
+        self.round_events.iter().sum()
+    }
 }
 
 /// Merge another engine's counters into this one — how a multi-domain run
@@ -299,6 +359,11 @@ impl std::ops::AddAssign for EngineCounters {
         self.timers_cancelled += rhs.timers_cancelled;
         self.trains_emitted += rhs.trains_emitted;
         self.fragments_coalesced += rhs.fragments_coalesced;
+        self.sync_rounds_saved += rhs.sync_rounds_saved;
+        self.barrier_ns += rhs.barrier_ns;
+        for (b, r) in self.round_events.iter_mut().zip(rhs.round_events) {
+            *b += r;
+        }
     }
 }
 
@@ -347,6 +412,16 @@ impl Core {
     fn push_event_partitioned(&mut self, at: Time, kind: EventKind) {
         let p = self.partition.as_mut().expect("checked by push_event");
         match kind {
+            // Auto's density probe rides on a *serial* engine that hosts all
+            // domains: a crossing is a sender/receiver domain mismatch. The
+            // message is tallied, then delivered locally — the probed prefix
+            // must stay byte-for-byte the serial simulation.
+            EventKind::Message { from, to, .. } if p.probe => {
+                if p.domain_of[to] != p.domain_of[from] {
+                    p.cross_events += 1;
+                }
+                self.push_event_local(at, kind);
+            }
             EventKind::Message { from, to, msg } if p.domain_of[to] != p.domain => {
                 p.outbox.push(Staged { at, from, to, msg });
             }
@@ -372,6 +447,32 @@ impl Core {
         };
         let seq = self.seq;
         self.seq += 1;
+        self.queue.push(Reverse(HeapKey::new(at, seq, idx)));
+        let len = self.queue.len() as u64;
+        if len > self.counters.peak_queue_len {
+            self.counters.peak_queue_len = len;
+        }
+    }
+
+    /// Insert a cross-domain arrival with an explicit, caller-chosen sequence
+    /// key instead of the engine's own counter. The partitioned engine
+    /// reserves the upper half of the sequence space for arrivals (see
+    /// [`crate::domain::arrival_seq`]) so that same-nanosecond ties resolve
+    /// identically no matter when a domain happened to drain its inbound
+    /// channels — the cornerstone of window-size independence.
+    pub(crate) fn push_event_arrival(&mut self, at: Time, kind: EventKind, seq: u64) {
+        debug_assert!(seq >= 1 << 63, "arrival seqs live in the upper half");
+        let idx = if let Some(idx) = self.free.pop() {
+            self.counters.pool_hits += 1;
+            debug_assert!(self.nodes[idx as usize].is_none(), "free-list slot in use");
+            self.nodes[idx as usize] = Some(kind);
+            idx
+        } else {
+            self.counters.events_allocated += 1;
+            let idx = u32::try_from(self.nodes.len()).expect("event slab overflow");
+            self.nodes.push(Some(kind));
+            idx
+        };
         self.queue.push(Reverse(HeapKey::new(at, seq, idx)));
         let len = self.queue.len() as u64;
         if len > self.counters.peak_queue_len {
@@ -529,6 +630,51 @@ impl Engine {
     /// engine stops once the cap is reached).
     pub fn set_event_limit(&mut self, limit: u64) {
         self.event_limit = limit;
+    }
+
+    /// The current event cap (`u64::MAX` when uncapped). Harnesses that
+    /// borrow the limit for a bounded prefix — the Auto density probe — save
+    /// and restore it through this.
+    pub fn event_limit(&self) -> u64 {
+        self.event_limit
+    }
+
+    /// Install a probe-mode partition context: cross-domain `Message` pushes are
+    /// tallied against `domain_of` but still delivered locally, so the
+    /// probed prefix stays byte-for-byte the serial simulation. Used by the
+    /// density probe behind `PartitionMode::Auto`.
+    pub fn begin_partition_probe(&mut self, domain_of: &[u32]) {
+        assert!(
+            self.core.partition.is_none(),
+            "cannot probe an engine that is already partitioned"
+        );
+        assert_eq!(
+            domain_of.len(),
+            self.actors.len(),
+            "probe domain map must cover every actor"
+        );
+        self.core.partition = Some(Partition {
+            domain: u32::MAX,
+            domain_of: domain_of.into(),
+            outbox: Vec::new(),
+            probe: true,
+            cross_events: 0,
+        });
+    }
+
+    /// Remove the probe installed by [`Engine::begin_partition_probe`] and
+    /// return how many cross-domain messages the probed prefix scheduled.
+    pub fn end_partition_probe(&mut self) -> u64 {
+        let p = self
+            .core
+            .partition
+            .take()
+            .expect("no partition probe installed");
+        assert!(
+            p.probe && p.outbox.is_empty(),
+            "ended a partition that was not a probe"
+        );
+        p.cross_events
     }
 
     /// Record every dispatched event into a bounded [`Trace`].
@@ -1138,6 +1284,9 @@ mod tests {
             timers_cancelled: 1,
             trains_emitted: 3,
             fragments_coalesced: 30,
+            sync_rounds_saved: 2,
+            barrier_ns: 100,
+            round_events: [1, 0, 0, 0, 0, 0, 0, 2],
         };
         let b = EngineCounters {
             events_processed: 4,
@@ -1147,6 +1296,9 @@ mod tests {
             timers_cancelled: 0,
             trains_emitted: 1,
             fragments_coalesced: 10,
+            sync_rounds_saved: 5,
+            barrier_ns: 50,
+            round_events: [0, 3, 0, 0, 0, 0, 0, 1],
         };
         let mut m = a;
         m += b;
@@ -1157,6 +1309,43 @@ mod tests {
         assert_eq!(m.timers_cancelled, 1);
         assert_eq!(m.trains_emitted, 4);
         assert_eq!(m.fragments_coalesced, 40);
+        assert_eq!(m.sync_rounds_saved, 7);
+        assert_eq!(m.barrier_ns, 150);
+        assert_eq!(m.round_events, [1, 3, 0, 0, 0, 0, 0, 3]);
+        assert_eq!(m.windows_recorded(), 7);
+    }
+
+    #[test]
+    fn counters_equality_ignores_schedule_dependent_fields() {
+        let mut a = EngineCounters {
+            events_processed: 10,
+            trains_emitted: 3,
+            fragments_coalesced: 30,
+            ..Default::default()
+        };
+        let mut b = a;
+        // Pool growth, queue peaks, and window shapes are host-schedule
+        // artifacts; equality must see through them.
+        b.events_allocated = 99;
+        b.peak_queue_len = 77;
+        b.sync_rounds_saved = 5;
+        b.barrier_ns = 12345;
+        b.round_events = [9; super::ROUND_EVENT_BUCKETS];
+        assert_eq!(a, b);
+        a.events_processed += 1;
+        assert_ne!(a, b, "dispatched-event counts are load-bearing");
+    }
+
+    #[test]
+    fn round_event_histogram_buckets_log2() {
+        let mut c = EngineCounters::default();
+        c.record_window(0); // empty windows are not recorded
+        c.record_window(1);
+        c.record_window(3);
+        c.record_window(4);
+        c.record_window(200); // beyond 2^7 clamps into the last bucket
+        assert_eq!(c.round_events, [1, 1, 1, 0, 0, 0, 0, 1]);
+        assert_eq!(c.windows_recorded(), 4);
     }
 
     #[test]

@@ -89,8 +89,14 @@ impl<T: Send> Sender<T> {
         // Publish the node as the new head, then link the previous head to
         // it. Between the swap and the store the consumer sees a `null`
         // next and treats the queue as (momentarily) empty — acceptable
-        // here because domains only drain at synchronization points, after
-        // the producer has quiesced at a barrier.
+        // here because a drain always observes a FIFO *prefix* of what was
+        // pushed, and the batched-window protocol (see `crate::domain`)
+        // never relies on a drain being complete: the sender's published
+        // floor and wire-tail atomics (release/acquire) prove that anything
+        // a drain missed carries a timestamp at or beyond the horizon the
+        // receiver computed, and the `outstanding` debt counter keeps
+        // termination from being declared while a suffix is still in
+        // flight.
         let prev = self.inner.head.swap(node, Ordering::AcqRel);
         // SAFETY: `prev` is a node we (or `channel`) allocated and never
         // freed: the consumer only frees nodes strictly behind its cursor,
